@@ -1,0 +1,118 @@
+// Command botpredict runs the paper's forecasting experiments: per-family
+// geolocation-dispersion prediction with ARIMA (Table IV) and per-target
+// next-attack start-time prediction.
+//
+// Usage:
+//
+//	botpredict -scale 0.2 -family pandora      # one family's Table IV row
+//	botpredict -scale 0.2                      # all families
+//	botpredict -scale 0.2 -targets -min 6      # next-attack prediction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"botscope"
+	"botscope/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "botpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("botpredict", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "generation seed")
+		scale   = fs.Float64("scale", 0.2, "workload scale; 1.0 = paper size")
+		family  = fs.String("family", "", "predict a single family (default: all)")
+		targets = fs.Bool("targets", false, "predict next-attack start gaps per repeat target")
+		minAtk  = fs.Int("min", 6, "minimum attacks per target for -targets")
+		p       = fs.Int("p", 1, "ARIMA AR order (0 with -q 0 selects automatically)")
+		d       = fs.Int("d", 0, "ARIMA differencing order")
+		q       = fs.Int("q", 0, "ARIMA MA order")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := botscope.Generate(botscope.GenerateConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	analyzer := botscope.NewAnalyzer(store)
+
+	if *targets {
+		return predictTargets(stdout, analyzer, *minAtk)
+	}
+
+	cfg := botscope.PredictConfig{
+		Order:      botscope.ARIMAOrder{P: *p, D: *d, Q: *q},
+		TestPoints: int(2700 * *scale),
+	}
+	var results []*botscope.PredictionResult
+	if *family != "" {
+		res, err := analyzer.PredictDispersion(botscope.Family(*family), cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	} else {
+		results = analyzer.PredictAllFamilies(cfg)
+		if len(results) == 0 {
+			return fmt.Errorf("no family has enough dispersion data at scale %.3f", *scale)
+		}
+	}
+
+	t := report.NewTable("geolocation dispersion prediction (Table IV protocol)",
+		"family", "order", "mean pred", "mean truth", "std pred", "std truth", "similarity")
+	for i := 2; i <= 6; i++ {
+		t.SetAlign(i, report.AlignRight)
+	}
+	for _, r := range results {
+		t.AddRow(string(r.Family), r.Order.String(),
+			report.FormatFloat(r.MeanPred, 1), report.FormatFloat(r.MeanTruth, 1),
+			report.FormatFloat(r.StdPred, 1), report.FormatFloat(r.StdTruth, 1),
+			fmt.Sprintf("%.3f", r.Similarity))
+	}
+	fmt.Fprint(stdout, t.String())
+	return nil
+}
+
+func predictTargets(stdout io.Writer, analyzer *botscope.Analyzer, minAttacks int) error {
+	preds := analyzer.PredictNextAttacks(minAttacks)
+	if len(preds) == 0 {
+		return fmt.Errorf("no target has %d+ attacks", minAttacks)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].AbsError < preds[j].AbsError })
+	t := report.NewTable("next-attack start-gap prediction per repeat target",
+		"target", "predicted gap (s)", "actual gap (s)", "abs error (s)")
+	for i := 1; i <= 3; i++ {
+		t.SetAlign(i, report.AlignRight)
+	}
+	show := preds
+	if len(show) > 25 {
+		show = show[:25]
+	}
+	for _, p := range show {
+		t.AddRow(p.Target,
+			report.FormatFloat(p.PredictedGap, 0),
+			report.FormatFloat(p.ActualGap, 0),
+			report.FormatFloat(p.AbsError, 0))
+	}
+	fmt.Fprint(stdout, t.String())
+	var sumErr float64
+	for _, p := range preds {
+		sumErr += p.AbsError
+	}
+	fmt.Fprintf(stdout, "targets evaluated: %d, mean abs error %s s\n",
+		len(preds), report.FormatFloat(sumErr/float64(len(preds)), 0))
+	return nil
+}

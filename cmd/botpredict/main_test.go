@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFamilies(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "similarity") || !strings.Contains(text, "dirtjumper") {
+		t.Errorf("prediction table malformed:\n%.300s", text)
+	}
+	if !strings.Contains(text, "ARIMA(1,0,0)") {
+		t.Errorf("order column missing:\n%.300s", text)
+	}
+}
+
+func TestRunSingleFamily(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-seed", "2", "-family", "pandora"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "pandora") {
+		t.Errorf("family row missing:\n%.300s", text)
+	}
+	if strings.Contains(text, "dirtjumper") {
+		t.Error("-family leaked other families")
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-family", "mirai"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestRunTargets(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.05", "-seed", "2", "-targets", "-min", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "predicted gap") || !strings.Contains(text, "mean abs error") {
+		t.Errorf("target prediction output malformed:\n%.300s", text)
+	}
+}
+
+func TestRunTargetsTooStrict(t *testing.T) {
+	var out bytes.Buffer
+	// At a tiny scale no target accumulates 500 attacks.
+	if err := run([]string{"-scale", "0.01", "-targets", "-min", "500"}, &out); err == nil {
+		t.Error("impossible -min accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

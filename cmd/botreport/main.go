@@ -1,0 +1,123 @@
+// Command botreport regenerates every table and figure of the paper's
+// evaluation from a synthetic workload (or a previously exported CSV) and
+// prints them with measured-vs-paper metrics.
+//
+// Usage:
+//
+//	botreport -scale 1.0 -seed 1              # full paper-size run
+//	botreport -scale 0.1 -only "Table VI"     # a single experiment
+//	botreport -in attacks.csv -scale 0.1      # analyze an exported workload
+//	botreport -markdown > EXPERIMENTS.md      # metric comparison as markdown
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"botscope"
+	"botscope/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "botreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("botreport", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "generation seed")
+		scale    = fs.Float64("scale", 1.0, "workload scale; 1.0 = paper size")
+		in       = fs.String("in", "", "analyze this attack CSV instead of generating")
+		only     = fs.String("only", "", "run only the experiment with this ID (e.g. 'Figure 3')")
+		markdown = fs.Bool("markdown", false, "emit a markdown metric comparison instead of full text")
+		parallel = fs.Int("parallel", 0, "run experiments concurrently with this many workers (0 = sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		w   *experiments.Workload
+		err error
+	)
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		attacks, rerr := botscope.ReadCSV(f)
+		if rerr != nil {
+			return rerr
+		}
+		store, serr := botscope.NewStore(attacks, nil, nil)
+		if serr != nil {
+			return serr
+		}
+		w = experiments.FromStore(store, *scale)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating workload (seed %d, scale %.3f)...\n", *seed, *scale)
+		w, err = experiments.NewWorkload(*seed, *scale)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *markdown {
+		return writeMarkdown(stdout, w)
+	}
+
+	if *parallel > 0 && *only == "" {
+		results, err := w.RunAllParallel(context.Background(), *parallel)
+		for _, res := range results {
+			fmt.Fprintf(stdout, "== %s — %s\n%s%s\n", res.ID, res.Title, res.Text, res.MetricsText())
+		}
+		return err
+	}
+
+	ran := 0
+	for _, e := range w.All() {
+		if *only != "" && !strings.EqualFold(e.ID, *only) {
+			continue
+		}
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(stdout, "== %s: FAILED: %v\n\n", e.ID, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s — %s\n%s%s\n", res.ID, res.Title, res.Text, res.MetricsText())
+		ran++
+	}
+	if *only != "" && ran == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	return nil
+}
+
+// writeMarkdown emits the EXPERIMENTS.md comparison table.
+func writeMarkdown(w io.Writer, wl *experiments.Workload) error {
+	fmt.Fprintln(w, "| Experiment | Metric | Measured | Paper |")
+	fmt.Fprintln(w, "|---|---|---:|---:|")
+	for _, e := range wl.All() {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(w, "| %s | (failed: %v) | | |\n", e.ID, err)
+			continue
+		}
+		for _, m := range res.Metrics {
+			paper := ""
+			if m.PaperKnown {
+				paper = fmt.Sprintf("%.3f", m.Paper)
+			}
+			fmt.Fprintf(w, "| %s | %s | %.3f | %s |\n", res.ID, m.Name, m.Measured, paper)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Command botserve exposes botscope analyses over HTTP as JSON.
+//
+// Usage:
+//
+//	botserve -addr :8080 -scale 0.1 -seed 1
+//	botserve -addr :8080 -in attacks.csv
+//
+// Endpoints:
+//
+//	GET /healthz                           liveness
+//	GET /api/summary                       Table III entity counts
+//	GET /api/protocols                     Fig 1 breakdown
+//	GET /api/daily                         Fig 2 daily series
+//	GET /api/intervals[?family=pandora]    §III-B interval stats
+//	GET /api/durations                     §III-C duration stats
+//	GET /api/families                      per-family attack counts
+//	GET /api/family/{name}/dispersion      §IV-A dispersion profile
+//	GET /api/family/{name}/predict         Table IV forecast scores
+//	GET /api/family/{name}/targets         Table V profile
+//	GET /api/collaborations                Table VI
+//	GET /api/chains                        §V-B multistage summary
+//	GET /api/experiments                   experiment IDs
+//	GET /api/experiments/{id}              one regenerated table/figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"botscope"
+	"botscope/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "botserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("botserve", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", ":8080", "listen address")
+		seed  = fs.Int64("seed", 1, "generation seed")
+		scale = fs.Float64("scale", 0.1, "workload scale; 1.0 = paper size")
+		in    = fs.String("in", "", "serve this attack CSV instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		store *botscope.Store
+		err   error
+	)
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		attacks, rerr := botscope.ReadCSV(f)
+		_ = f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		store, err = botscope.NewStore(attacks, nil, nil)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating workload (seed %d, scale %.3f)...\n", *seed, *scale)
+		store, err = botscope.Generate(botscope.GenerateConfig{Seed: *seed, Scale: *scale})
+	}
+	if err != nil {
+		return err
+	}
+
+	srv := serve.New(store, *scale)
+	fmt.Fprintf(os.Stderr, "serving %d attacks on %s\n", store.NumAttacks(), *addr)
+	return srv.ListenAndServe(*addr)
+}

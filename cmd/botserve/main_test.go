@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunMissingInputFile(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent/attacks.csv"}); err == nil {
+		t.Error("missing input file accepted")
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	// A malformed address fails fast after the workload is built; keep the
+	// workload tiny so the test stays quick.
+	if err := run([]string{"-scale", "0.005", "-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("malformed listen address accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module botscope
+
+go 1.22

@@ -1,0 +1,274 @@
+package botnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"botscope/internal/dataset"
+	"botscope/internal/geo"
+)
+
+// BurstSpec injects a one-day attack storm, reproducing the paper's
+// maximum of 983 Dirtjumper attacks on 2012-08-30 against targets in a
+// single Russian subnet.
+type BurstSpec struct {
+	// DayOffset is the day index inside the window (0 = first day).
+	DayOffset int
+	// Count is the number of burst attacks.
+	Count int
+	// TargetCC is the victims' country.
+	TargetCC string
+	// Targets is how many distinct victim IPs share the burst subnet.
+	Targets int
+}
+
+// InterCollab stages cross-family coordination: Pairs attacks of Partner
+// are re-aimed and re-timed to coincide with attacks of Initiator.
+// MatchDuration distinguishes the paper's strict collaborations (duration
+// difference within 30 minutes, Table VI) from merely concurrent launches
+// (§III-B's Dirtjumper+Blackenergy pairs).
+type InterCollab struct {
+	Initiator     dataset.Family
+	Partner       dataset.Family
+	Pairs         int
+	MatchDuration bool
+	// StartFrac/EndFrac confine the coordination to a sub-window of the
+	// observation period (both zero means the whole window). The paper's
+	// Dirtjumper-Pandora campaign spanned about 16 of the 29 weeks.
+	StartFrac float64
+	EndFrac   float64
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Seed         int64
+	Window       Window
+	InterCollabs []InterCollab
+}
+
+// Output is a complete generated workload in the three Table I schemas.
+type Output struct {
+	Attacks []*dataset.Attack
+	Botnets []*dataset.Botnet
+	Bots    []*dataset.Bot
+}
+
+// Store wraps the output in an indexed dataset.Store.
+func (o *Output) Store() (*dataset.Store, error) {
+	return dataset.NewStore(o.Attacks, o.Botnets, o.Bots)
+}
+
+// Simulator generates workloads from family profiles.
+type Simulator struct {
+	cfg      Config
+	db       *geo.DB
+	profiles []*Profile
+	bursts   map[dataset.Family]*BurstSpec
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config, db *geo.DB, profiles []*Profile) (*Simulator, error) {
+	if db == nil {
+		return nil, fmt.Errorf("botnet: nil geo DB")
+	}
+	if !cfg.Window.End.After(cfg.Window.Start) {
+		return nil, fmt.Errorf("botnet: empty simulation window")
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("botnet: no profiles")
+	}
+	seen := make(map[dataset.Family]bool, len(profiles))
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[p.Family] {
+			return nil, fmt.Errorf("botnet: duplicate profile for %s", p.Family)
+		}
+		seen[p.Family] = true
+	}
+	for _, ic := range cfg.InterCollabs {
+		if !seen[ic.Initiator] || !seen[ic.Partner] {
+			return nil, fmt.Errorf("botnet: inter-collab references unknown family %s/%s", ic.Initiator, ic.Partner)
+		}
+		if ic.Pairs <= 0 {
+			return nil, fmt.Errorf("botnet: inter-collab %s/%s with non-positive pairs", ic.Initiator, ic.Partner)
+		}
+	}
+	return &Simulator{cfg: cfg, db: db, profiles: profiles, bursts: make(map[dataset.Family]*BurstSpec)}, nil
+}
+
+// SetBurst attaches a burst to a family before Run.
+func (s *Simulator) SetBurst(f dataset.Family, b *BurstSpec) { s.bursts[f] = b }
+
+// famState carries per-family generation results into the inter-family pass.
+type famState struct {
+	profile *Profile
+	pool    *Pool
+	singles []*dataset.Attack // plain attacks, safe to re-time
+	rng     *rand.Rand
+}
+
+// Run executes the simulation and returns the full workload.
+func (s *Simulator) Run() (*Output, error) {
+	out := &Output{}
+	used := make(map[netip.Addr]bool)
+	var (
+		nextBotnetID dataset.BotnetID = 1
+		nextDDoSID   dataset.DDoSID   = 1
+	)
+	states := make(map[dataset.Family]*famState, len(s.profiles))
+
+	for _, p := range s.profiles {
+		rng := rand.New(rand.NewSource(s.cfg.Seed ^ familyHash(p.Family)))
+		g := &familyGen{
+			p:      p,
+			rng:    rng,
+			db:     s.db,
+			window: s.cfg.Window,
+			burst:  s.bursts[p.Family],
+		}
+		res, err := g.run(used, &nextBotnetID, &nextDDoSID)
+		if err != nil {
+			return nil, fmt.Errorf("botnet: generate %s: %w", p.Family, err)
+		}
+		out.Attacks = append(out.Attacks, res.attacks...)
+		out.Botnets = append(out.Botnets, res.botnets...)
+		out.Bots = append(out.Bots, g.pool.Bots()...)
+		states[p.Family] = &famState{profile: p, pool: g.pool, singles: res.singles, rng: rng}
+	}
+
+	if err := s.applyInterCollabs(states); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(out.Attacks, func(i, j int) bool {
+		if !out.Attacks[i].Start.Equal(out.Attacks[j].Start) {
+			return out.Attacks[i].Start.Before(out.Attacks[j].Start)
+		}
+		return out.Attacks[i].ID < out.Attacks[j].ID
+	})
+	return out, nil
+}
+
+// applyInterCollabs re-times partner attacks onto initiator attacks.
+func (s *Simulator) applyInterCollabs(states map[dataset.Family]*famState) error {
+	for _, ic := range s.cfg.InterCollabs {
+		init := states[ic.Initiator]
+		part := states[ic.Partner]
+		if len(init.singles) < ic.Pairs || len(part.singles) < ic.Pairs {
+			return fmt.Errorf("botnet: inter-collab %s/%s needs %d pairs, have %d/%d singles",
+				ic.Initiator, ic.Partner, ic.Pairs, len(init.singles), len(part.singles))
+		}
+		rng := part.rng
+		// Candidate initiator attacks, confined to the campaign window.
+		candidates := make([]int, 0, len(init.singles))
+		winDur := s.cfg.Window.Duration().Seconds()
+		for i, a := range init.singles {
+			if ic.EndFrac > 0 {
+				frac := a.Start.Sub(s.cfg.Window.Start).Seconds() / winDur
+				if frac < ic.StartFrac || frac > ic.EndFrac {
+					continue
+				}
+			}
+			candidates = append(candidates, i)
+		}
+		if len(candidates) < ic.Pairs {
+			// Small workloads can leave the campaign window short of
+			// initiator attacks (heavy-tailed gaps punch multi-week holes
+			// in a family's timeline); fall back to the whole stream
+			// rather than failing the scenario.
+			candidates = candidates[:0]
+			for i := range init.singles {
+				candidates = append(candidates, i)
+			}
+			if len(candidates) < ic.Pairs {
+				return fmt.Errorf("botnet: inter-collab %s/%s has only %d initiator attacks, need %d",
+					ic.Initiator, ic.Partner, len(candidates), ic.Pairs)
+			}
+		}
+		candOrder := rng.Perm(len(candidates))[:ic.Pairs]
+		ai := make([]int, ic.Pairs)
+		for k, ci := range candOrder {
+			ai[k] = candidates[ci]
+		}
+		bi := rng.Perm(len(part.singles))[:ic.Pairs]
+		for k := 0; k < ic.Pairs; k++ {
+			a := init.singles[ai[k]]
+			b := part.singles[bi[k]]
+			b.Start = a.Start
+			if ic.MatchDuration {
+				// Durations matched within the 30-minute collaboration
+				// window (Table VI criterion).
+				delta := time.Duration(rng.Intn(1200)-600) * time.Second
+				d := a.Duration() + delta
+				if d < time.Minute {
+					d = time.Minute
+				}
+				b.End = b.Start.Add(d)
+			} else {
+				// Concurrent but deliberately mismatched in duration so the
+				// pair registers in §III-B's concurrency statistics without
+				// qualifying as a Table VI collaboration.
+				d := a.Duration() + 35*time.Minute + time.Duration(rng.Intn(3600))*time.Second
+				b.End = b.Start.Add(d)
+			}
+			b.TargetIP = a.TargetIP
+			b.TargetASN = a.TargetASN
+			b.TargetCountry = a.TargetCountry
+			b.TargetCity = a.TargetCity
+			b.TargetOrg = a.TargetOrg
+			b.TargetLat = a.TargetLat
+			b.TargetLon = a.TargetLon
+			// Near-equal magnitudes, the paper's hallmark of coordination.
+			size := len(a.BotIPs)
+			anchor := part.profile.SourceCountries[0].CC
+			if i := WeightedChoice(rng, sourceWeights(part.profile)); i >= 0 {
+				anchor = part.profile.SourceCountries[i].CC
+			}
+			form := part.pool.Formation(anchor, size,
+				rng.Float64() < part.profile.SymmetricProb,
+				part.profile.DispersionTargetKm, b.Start)
+			if len(form) > 0 {
+				b.BotIPs = form
+			}
+		}
+		// Remove the consumed singles from both sides so overlapping
+		// InterCollab specs never re-time the same attack twice.
+		init.singles = removeIndices(init.singles, ai)
+		part.singles = removeIndices(part.singles, bi)
+	}
+	return nil
+}
+
+func removeIndices(xs []*dataset.Attack, idx []int) []*dataset.Attack {
+	drop := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		drop[i] = true
+	}
+	out := xs[:0]
+	for i, x := range xs {
+		if !drop[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sourceWeights(p *Profile) []float64 {
+	w := make([]float64, len(p.SourceCountries))
+	for i, sc := range p.SourceCountries {
+		w[i] = sc.Weight
+	}
+	return w
+}
+
+func familyHash(f dataset.Family) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(f))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

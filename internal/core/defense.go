@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+// The paper closes §V with a defense insight: "if we could model the
+// consecutive patterns of DDoS attacks, then the defender could leverage
+// this information to prepare for the next rounds of attacks, e.g., by
+// utilizing a blacklist." This file implements that proposal so its
+// effectiveness can be evaluated on the workload: blacklists built from
+// observed attack history, scored by how much of the *future* attack
+// traffic they would have pre-blocked.
+
+// BlacklistEntry is one bot in a defense blacklist, ranked by how often it
+// participated in observed attacks.
+type BlacklistEntry struct {
+	IP netip.Addr
+	// Occurrences is the number of attacks the bot joined during the
+	// observation window.
+	Occurrences int
+	// Families is the number of distinct families the bot served — bots
+	// serving several families are strong blacklist candidates.
+	Families int
+}
+
+// Blacklist is an ordered bot blacklist with fast membership checks.
+type Blacklist struct {
+	entries []BlacklistEntry
+	members map[netip.Addr]bool
+}
+
+// Len returns the number of blacklisted IPs.
+func (b *Blacklist) Len() int { return len(b.entries) }
+
+// Entries returns the ranked entries (most active first). The slice is
+// shared and must not be modified.
+func (b *Blacklist) Entries() []BlacklistEntry { return b.entries }
+
+// Contains reports whether ip is blacklisted.
+func (b *Blacklist) Contains(ip netip.Addr) bool { return b.members[ip] }
+
+// BuildBlacklist ranks every bot seen in attacks starting inside
+// [from, to) by participation and keeps the top maxSize entries
+// (0 = keep everything). Zero times extend to the workload bounds.
+func BuildBlacklist(s *dataset.Store, from, to time.Time, maxSize int) (*Blacklist, error) {
+	attacks := s.Attacks()
+	if len(attacks) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	type acc struct {
+		count    int
+		families map[dataset.Family]bool
+	}
+	seen := make(map[netip.Addr]*acc)
+	for _, a := range attacks {
+		if !from.IsZero() && a.Start.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !a.Start.Before(to) {
+			continue
+		}
+		for _, ip := range a.BotIPs {
+			e := seen[ip]
+			if e == nil {
+				e = &acc{families: make(map[dataset.Family]bool, 1)}
+				seen[ip] = e
+			}
+			e.count++
+			e.families[a.Family] = true
+		}
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("core: no attacks inside the training window")
+	}
+	entries := make([]BlacklistEntry, 0, len(seen))
+	for ip, e := range seen {
+		entries = append(entries, BlacklistEntry{IP: ip, Occurrences: e.count, Families: len(e.families)})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Occurrences != entries[j].Occurrences {
+			return entries[i].Occurrences > entries[j].Occurrences
+		}
+		if entries[i].Families != entries[j].Families {
+			return entries[i].Families > entries[j].Families
+		}
+		return entries[i].IP.Less(entries[j].IP)
+	})
+	if maxSize > 0 && len(entries) > maxSize {
+		entries = entries[:maxSize]
+	}
+	members := make(map[netip.Addr]bool, len(entries))
+	for _, e := range entries {
+		members[e.IP] = true
+	}
+	return &Blacklist{entries: entries, members: members}, nil
+}
+
+// BlacklistEvaluation scores a blacklist against a held-out attack window.
+type BlacklistEvaluation struct {
+	// Attacks is the number of evaluated future attacks.
+	Attacks int
+	// BotCoverage is the fraction of future bot participations the
+	// blacklist would have pre-blocked.
+	BotCoverage float64
+	// AttacksBlunted is the fraction of future attacks losing at least
+	// half their sources to the blacklist.
+	AttacksBlunted float64
+	// MedianCoverage is the median per-attack blocked fraction.
+	MedianCoverage float64
+}
+
+// EvaluateBlacklist replays the attacks starting inside [from, to) against
+// the blacklist. Zero times extend to the workload bounds.
+func EvaluateBlacklist(s *dataset.Store, bl *Blacklist, from, to time.Time) (BlacklistEvaluation, error) {
+	if bl == nil || bl.Len() == 0 {
+		return BlacklistEvaluation{}, fmt.Errorf("core: empty blacklist")
+	}
+	var (
+		out       BlacklistEvaluation
+		refs      int
+		blocked   int
+		perAttack []float64
+	)
+	for _, a := range s.Attacks() {
+		if !from.IsZero() && a.Start.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !a.Start.Before(to) {
+			continue
+		}
+		out.Attacks++
+		hit := 0
+		for _, ip := range a.BotIPs {
+			refs++
+			if bl.Contains(ip) {
+				blocked++
+				hit++
+			}
+		}
+		frac := float64(hit) / float64(len(a.BotIPs))
+		perAttack = append(perAttack, frac)
+		if frac >= 0.5 {
+			out.AttacksBlunted++
+		}
+	}
+	if out.Attacks == 0 {
+		return BlacklistEvaluation{}, fmt.Errorf("core: no attacks inside the evaluation window")
+	}
+	out.BotCoverage = float64(blocked) / float64(refs)
+	out.AttacksBlunted /= float64(out.Attacks)
+	sort.Float64s(perAttack)
+	out.MedianCoverage = perAttack[len(perAttack)/2]
+	return out, nil
+}
+
+// MitigationWindow is the §III-D deployment insight for one repeat target:
+// when to have defenses armed, derived from the target's gap distribution.
+type MitigationWindow struct {
+	Target string
+	// LastSeen is the end of the target's most recent attack.
+	LastSeen time.Time
+	// ExpectedNext is the forecast start of the next attack.
+	ExpectedNext time.Time
+	// ArmFrom/ArmUntil bound the suggested high-alert window (the 25th to
+	// 95th percentile of historical gaps after the last attack).
+	ArmFrom  time.Time
+	ArmUntil time.Time
+	// HistoryGaps is the number of gaps backing the estimate.
+	HistoryGaps int
+}
+
+// PlanMitigation builds mitigation windows for every target attacked at
+// least minAttacks times, ordered by how soon defenses should be armed.
+func PlanMitigation(s *dataset.Store, minAttacks int) []MitigationWindow {
+	if minAttacks < 3 {
+		minAttacks = 3
+	}
+	var out []MitigationWindow
+	for _, ip := range s.Targets() {
+		attacks := s.ByTarget(ip)
+		if len(attacks) < minAttacks {
+			continue
+		}
+		gaps := Intervals(attacks)
+		sorted := append([]float64(nil), gaps...)
+		sort.Float64s(sorted)
+		q := func(p float64) float64 {
+			idx := int(p * float64(len(sorted)-1))
+			return sorted[idx]
+		}
+		last := attacks[len(attacks)-1]
+		median := q(0.5)
+		// Pad the window by 10% of the median gap (at least 5 minutes) so
+		// perfectly periodic targets still get a usable alert interval.
+		pad := time.Duration(median * 0.1 * float64(time.Second))
+		if pad < 5*time.Minute {
+			pad = 5 * time.Minute
+		}
+		out = append(out, MitigationWindow{
+			Target:       ip.String(),
+			LastSeen:     last.End,
+			ExpectedNext: last.Start.Add(time.Duration(median * float64(time.Second))),
+			ArmFrom:      last.Start.Add(time.Duration(q(0.25)*float64(time.Second)) - pad),
+			ArmUntil:     last.Start.Add(time.Duration(q(0.95)*float64(time.Second)) + pad),
+			HistoryGaps:  len(gaps),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].ArmFrom.Equal(out[j].ArmFrom) {
+			return out[i].ArmFrom.Before(out[j].ArmFrom)
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+func TestHourAndWeekdayCounts(t *testing.T) {
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0.Add(3*time.Hour), time.Hour),  // 03:00 Wed
+		mkAttack(2, dataset.Dirtjumper, 1, "5.5.5.2", t0.Add(27*time.Hour), time.Hour), // 03:00 Thu
+		mkAttack(3, dataset.Dirtjumper, 1, "5.5.5.3", t0.Add(14*time.Hour), time.Hour), // 14:00 Wed
+	}
+	s := mustStore(t, attacks)
+	hours := HourOfDayCounts(s)
+	if hours[3] != 2 || hours[14] != 1 {
+		t.Errorf("hour counts = %v", hours)
+	}
+	// 2012-08-29 is a Wednesday.
+	days := DayOfWeekCounts(s)
+	if days[time.Wednesday] != 2 || days[time.Thursday] != 1 {
+		t.Errorf("weekday counts = %v", days)
+	}
+}
+
+func TestReferenceDiurnalCounts(t *testing.T) {
+	ref := ReferenceDiurnalCounts(24000)
+	total := 0
+	for _, c := range ref {
+		total += c
+	}
+	if total != 24000 {
+		t.Errorf("total = %d, want 24000 (volume conserved)", total)
+	}
+	// Mid-day peak clearly above the night trough.
+	if ref[14] <= ref[2]*2 {
+		t.Errorf("peak/trough = %d/%d, want pronounced day shape", ref[14], ref[2])
+	}
+}
+
+func TestAnalyzeDiurnalFlatVsDiurnal(t *testing.T) {
+	// Flat workload: one attack at every hour over several days.
+	var flat []*dataset.Attack
+	id := dataset.DDoSID(1)
+	for d := 0; d < 7; d++ {
+		for h := 0; h < 24; h++ {
+			flat = append(flat, mkAttack(id, dataset.Dirtjumper, 1, "5.5.5.1",
+				t0.Add(time.Duration(d*24+h)*time.Hour), 10*time.Minute))
+			id++
+		}
+	}
+	s := mustStore(t, flat)
+	res, err := AnalyzeDiurnal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diurnal {
+		t.Errorf("flat workload classified as diurnal: %+v", res)
+	}
+	if res.HourScore > 0.05 {
+		t.Errorf("flat hour score = %v, want ~0", res.HourScore)
+	}
+
+	// Day-shaped workload: attacks drawn from the reference profile.
+	ref := ReferenceDiurnalCounts(500)
+	var diurnal []*dataset.Attack
+	id = 1
+	for h, n := range ref {
+		for i := 0; i < n; i++ {
+			day := i % 7
+			diurnal = append(diurnal, mkAttack(id, dataset.Pandora, 1, "5.5.5.2",
+				t0.Add(time.Duration(day*24+h)*time.Hour+time.Duration(i)*time.Second), 10*time.Minute))
+			id++
+		}
+	}
+	s2 := mustStore(t, diurnal)
+	res2, err := AnalyzeDiurnal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Diurnal {
+		t.Errorf("day-shaped workload not classified as diurnal: hour score %v vs reference %v",
+			res2.HourScore, res2.ReferenceHourScore)
+	}
+}
+
+func TestAnalyzeDiurnalEmpty(t *testing.T) {
+	if _, err := AnalyzeDiurnal(mustStore(t, nil)); err == nil {
+		t.Error("empty workload succeeded")
+	}
+}
+
+func TestDiurnalOnSynthWorkload(t *testing.T) {
+	s := synthWorkload(t)
+	res, err := AnalyzeDiurnal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §III-A claim: no diurnal pattern in DDoS launches.
+	if res.Diurnal {
+		t.Errorf("synthetic workload shows a diurnal pattern: score %v vs reference %v",
+			res.HourScore, res.ReferenceHourScore)
+	}
+}

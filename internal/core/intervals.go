@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"botscope/internal/dataset"
+	"botscope/internal/stats"
+)
+
+// SimultaneousThreshold is the 60-second window inside which the paper
+// treats two launches as concurrent (§II-D, §V).
+const SimultaneousThreshold = 60 * time.Second
+
+// Intervals extracts the gaps (in seconds) between consecutive attack
+// starts in the given chronologically ordered attack list. It returns nil
+// for fewer than two attacks.
+func Intervals(attacks []*dataset.Attack) []float64 {
+	if len(attacks) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(attacks)-1)
+	for i := 1; i < len(attacks); i++ {
+		out = append(out, attacks[i].Start.Sub(attacks[i-1].Start).Seconds())
+	}
+	return out
+}
+
+// AllIntervals returns the gaps between consecutive attacks across all
+// families (the "all attacks" curve of Fig 3).
+func AllIntervals(s *dataset.Store) []float64 {
+	return Intervals(s.Attacks())
+}
+
+// FamilyIntervals returns the per-family gap series (the family curves of
+// Figs 3 and 5).
+func FamilyIntervals(s *dataset.Store, f dataset.Family) []float64 {
+	return Intervals(s.ByFamily(f))
+}
+
+// IntervalStats carries the headline interval numbers the paper reports
+// in §III-B.
+type IntervalStats struct {
+	stats.Summary
+	// SimultaneousFrac is the fraction of gaps below the 60 s threshold.
+	SimultaneousFrac float64
+	// ExactZeroFrac is the fraction of gaps that are exactly zero.
+	ExactZeroFrac float64
+}
+
+// AnalyzeIntervals summarizes a gap series. The error is non-nil for an
+// empty series.
+func AnalyzeIntervals(gaps []float64) (IntervalStats, error) {
+	if len(gaps) == 0 {
+		return IntervalStats{}, fmt.Errorf("core: no intervals to analyze")
+	}
+	st := IntervalStats{Summary: stats.Summarize(gaps)}
+	zero, simult := 0, 0
+	for _, g := range gaps {
+		if g == 0 {
+			zero++
+		}
+		if g < SimultaneousThreshold.Seconds() {
+			simult++
+		}
+	}
+	st.ExactZeroFrac = float64(zero) / float64(len(gaps))
+	st.SimultaneousFrac = float64(simult) / float64(len(gaps))
+	return st, nil
+}
+
+// IntervalCDF builds the empirical CDF of a gap series (Figs 3, 5).
+func IntervalCDF(gaps []float64) *stats.ECDF {
+	return stats.NewECDF(gaps)
+}
+
+// IntervalCluster is one duration-scale bucket of Fig 4.
+type IntervalCluster struct {
+	Label string
+	// Lo and Hi bound the bucket in seconds, half-open [Lo, Hi).
+	Lo, Hi float64
+	Count  int
+}
+
+// ClusterIntervals groups the non-simultaneous gaps of a family into the
+// paper's Fig 4 time-unit clusters (minutes, hours, days, weeks, months)
+// with finer sub-buckets inside the minute/hour ranges where the paper
+// observed the 6-7 min, 20-40 min and 2-3 h modes.
+func ClusterIntervals(gaps []float64) []IntervalCluster {
+	clusters := []IntervalCluster{
+		{Label: "1-5 min", Lo: 60, Hi: 300},
+		{Label: "5-10 min", Lo: 300, Hi: 600},
+		{Label: "10-20 min", Lo: 600, Hi: 1200},
+		{Label: "20-40 min", Lo: 1200, Hi: 2400},
+		{Label: "40-90 min", Lo: 2400, Hi: 5400},
+		{Label: "1.5-4 hr", Lo: 5400, Hi: 14400},
+		{Label: "4-24 hr", Lo: 14400, Hi: 86400},
+		{Label: "1-7 day", Lo: 86400, Hi: 604800},
+		{Label: "1-4 week", Lo: 604800, Hi: 2419200},
+		{Label: "1+ month", Lo: 2419200, Hi: 1e18},
+	}
+	for _, g := range gaps {
+		if g < SimultaneousThreshold.Seconds() {
+			continue // Fig 4 excludes simultaneous launches
+		}
+		for i := range clusters {
+			if g >= clusters[i].Lo && g < clusters[i].Hi {
+				clusters[i].Count++
+				break
+			}
+		}
+	}
+	return clusters
+}
+
+// ConcurrencyKind distinguishes the paper's two categories of concurrent
+// attacks (§III-B).
+type ConcurrencyKind int
+
+// Concurrency categories.
+const (
+	// SingleFamily means all concurrent attacks in the group come from
+	// one family.
+	SingleFamily ConcurrencyKind = iota + 1
+	// MultiFamily means at least two families launched within the window.
+	MultiFamily
+)
+
+// ConcurrencyStats counts concurrent-launch groups by kind, and the most
+// frequent cross-family pairs.
+type ConcurrencyStats struct {
+	SingleFamilyGroups int
+	MultiFamilyGroups  int
+	// PairCounts counts co-occurrences of family pairs in multi-family
+	// groups, keyed "familyA+familyB" with A < B.
+	PairCounts map[string]int
+}
+
+// AnalyzeConcurrency groups attacks whose starts fall within the
+// 60-second threshold of the group's first start, then classifies groups
+// with at least two attacks. This regenerates §III-B's 3,692 single-family
+// and 956 multi-family concurrent events and the Dirtjumper+Blackenergy /
+// Dirtjumper+Pandora pair counts.
+func AnalyzeConcurrency(s *dataset.Store) ConcurrencyStats {
+	attacks := s.Attacks()
+	out := ConcurrencyStats{PairCounts: make(map[string]int)}
+	i := 0
+	for i < len(attacks) {
+		j := i + 1
+		for j < len(attacks) && attacks[j].Start.Sub(attacks[i].Start) < SimultaneousThreshold {
+			j++
+		}
+		if j-i >= 2 {
+			fams := make(map[dataset.Family]bool)
+			for _, a := range attacks[i:j] {
+				fams[a.Family] = true
+			}
+			if len(fams) == 1 {
+				out.SingleFamilyGroups++
+			} else {
+				out.MultiFamilyGroups++
+				list := make([]dataset.Family, 0, len(fams))
+				for f := range fams {
+					list = append(list, f)
+				}
+				sort.Slice(list, func(a, b int) bool { return list[a] < list[b] })
+				for x := 0; x < len(list); x++ {
+					for y := x + 1; y < len(list); y++ {
+						out.PairCounts[string(list[x])+"+"+string(list[y])]++
+					}
+				}
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// TargetIntervals returns, for each target attacked at least minAttacks
+// times, the gap series between consecutive attacks on it. The paper uses
+// these to predict the start time of the next anticipated attack.
+func TargetIntervals(s *dataset.Store, minAttacks int) map[string][]float64 {
+	if minAttacks < 2 {
+		minAttacks = 2
+	}
+	out := make(map[string][]float64)
+	for _, ip := range s.Targets() {
+		attacks := s.ByTarget(ip)
+		if len(attacks) < minAttacks {
+			continue
+		}
+		out[ip.String()] = Intervals(attacks)
+	}
+	return out
+}

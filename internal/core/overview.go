@@ -1,0 +1,190 @@
+// Package core implements the paper's analyses: attack overview (types,
+// daily distribution, intervals, durations — §III), source and target
+// geolocation analysis with ARIMA prediction (§IV), and collaboration
+// detection, both concurrent and multistage (§V).
+//
+// Every function consumes an indexed dataset.Store and returns plain data
+// structures that internal/report renders and internal/experiments checks
+// against the paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+// ProtocolCount is one row of the attack-type breakdown (Fig 1).
+type ProtocolCount struct {
+	Category dataset.Category
+	Count    int
+}
+
+// ProtocolBreakdown counts attacks per category, ordered by count
+// descending (ties by category order). This regenerates Figure 1.
+func ProtocolBreakdown(s *dataset.Store) []ProtocolCount {
+	counts := make(map[dataset.Category]int)
+	for _, a := range s.Attacks() {
+		counts[a.Category]++
+	}
+	out := make([]ProtocolCount, 0, len(counts))
+	for _, c := range dataset.Categories {
+		if counts[c] > 0 {
+			out = append(out, ProtocolCount{Category: c, Count: counts[c]})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// FamilyProtocolRow is one row of Table II: a (protocol, family) pair with
+// its attack count.
+type FamilyProtocolRow struct {
+	Category dataset.Category
+	Family   dataset.Family
+	Count    int
+}
+
+// FamilyProtocolTable counts attacks per (category, family), ordered like
+// the paper's Table II: categories in display order, families
+// alphabetically inside each.
+func FamilyProtocolTable(s *dataset.Store) []FamilyProtocolRow {
+	counts := make(map[dataset.Category]map[dataset.Family]int)
+	for _, a := range s.Attacks() {
+		if counts[a.Category] == nil {
+			counts[a.Category] = make(map[dataset.Family]int)
+		}
+		counts[a.Category][a.Family]++
+	}
+	var out []FamilyProtocolRow
+	for _, c := range dataset.Categories {
+		fams := make([]dataset.Family, 0, len(counts[c]))
+		for f := range counts[c] {
+			fams = append(fams, f)
+		}
+		sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+		for _, f := range fams {
+			out = append(out, FamilyProtocolRow{Category: c, Family: f, Count: counts[c][f]})
+		}
+	}
+	return out
+}
+
+// DailyCount is one day of the attack-density series (Fig 2).
+type DailyCount struct {
+	Day   time.Time // midnight UTC of the day
+	Count int
+	// ByFamily breaks the day down per family.
+	ByFamily map[dataset.Family]int
+}
+
+// DailyStats summarizes the daily distribution: the paper reports an
+// average of 243 attacks/day and a 983-attack maximum on Aug 30, 2012.
+type DailyStats struct {
+	Days    []DailyCount
+	Average float64
+	MaxDay  time.Time
+	Max     int
+	// MaxDominantFamily is the family contributing most attacks on the
+	// peak day (Dirtjumper in the paper).
+	MaxDominantFamily dataset.Family
+}
+
+// DailyDistribution buckets attacks per UTC day (by start time) and
+// returns the Fig 2 series with its headline statistics. The error is
+// non-nil for an empty store.
+func DailyDistribution(s *dataset.Store) (DailyStats, error) {
+	first, _, ok := s.TimeBounds()
+	if !ok {
+		return DailyStats{}, fmt.Errorf("core: empty workload")
+	}
+	dayStart := time.Date(first.Year(), first.Month(), first.Day(), 0, 0, 0, 0, time.UTC)
+	byDay := make(map[int]*DailyCount)
+	for _, a := range s.Attacks() {
+		d := int(a.Start.Sub(dayStart).Hours() / 24)
+		dc := byDay[d]
+		if dc == nil {
+			dc = &DailyCount{
+				Day:      dayStart.AddDate(0, 0, d),
+				ByFamily: make(map[dataset.Family]int),
+			}
+			byDay[d] = dc
+		}
+		dc.Count++
+		dc.ByFamily[a.Family]++
+	}
+	idx := make([]int, 0, len(byDay))
+	for d := range byDay {
+		idx = append(idx, d)
+	}
+	sort.Ints(idx)
+
+	stats := DailyStats{Days: make([]DailyCount, 0, len(idx))}
+	total := 0
+	for _, d := range idx {
+		dc := byDay[d]
+		stats.Days = append(stats.Days, *dc)
+		total += dc.Count
+		if dc.Count > stats.Max {
+			stats.Max = dc.Count
+			stats.MaxDay = dc.Day
+			best, bestN := dataset.Family(""), 0
+			for f, n := range dc.ByFamily {
+				if n > bestN || (n == bestN && f < best) {
+					best, bestN = f, n
+				}
+			}
+			stats.MaxDominantFamily = best
+		}
+	}
+	if len(idx) > 0 {
+		// Average over the covered span (including zero-attack days),
+		// matching the paper's attacks-per-day figure.
+		span := idx[len(idx)-1] - idx[0] + 1
+		stats.Average = float64(total) / float64(span)
+	}
+	return stats, nil
+}
+
+// ActivityWindow describes when a family was active (first to last attack)
+// and how much of the observation window that covers.
+type ActivityWindow struct {
+	Family   dataset.Family
+	First    time.Time
+	Last     time.Time
+	Attacks  int
+	Coverage float64 // fraction of the whole observation window
+}
+
+// FamilyActivity computes per-family activity windows, sorted by attack
+// count descending (Dirtjumper first in the paper's data).
+func FamilyActivity(s *dataset.Store) []ActivityWindow {
+	first, last, ok := s.TimeBounds()
+	if !ok {
+		return nil
+	}
+	span := last.Sub(first).Seconds()
+	var out []ActivityWindow
+	for _, f := range s.Families() {
+		attacks := s.ByFamily(f)
+		w := ActivityWindow{
+			Family:  f,
+			First:   attacks[0].Start,
+			Last:    attacks[len(attacks)-1].Start,
+			Attacks: len(attacks),
+		}
+		if span > 0 {
+			w.Coverage = w.Last.Sub(w.First).Seconds() / span
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attacks != out[j].Attacks {
+			return out[i].Attacks > out[j].Attacks
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out
+}

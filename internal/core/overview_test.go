@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+func TestProtocolBreakdown(t *testing.T) {
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0, time.Hour),
+		mkAttack(2, dataset.Dirtjumper, 1, "5.5.5.2", t0.Add(time.Hour), time.Hour),
+		mkAttack(3, dataset.YZF, 2, "5.5.5.3", t0.Add(2*time.Hour), time.Hour),
+	}
+	attacks[2].Category = dataset.CategoryUDP
+	s := mustStore(t, attacks)
+	got := ProtocolBreakdown(s)
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	if got[0].Category != dataset.CategoryHTTP || got[0].Count != 2 {
+		t.Errorf("top row = %+v, want HTTP x2", got[0])
+	}
+	if got[1].Category != dataset.CategoryUDP || got[1].Count != 1 {
+		t.Errorf("second row = %+v, want UDP x1", got[1])
+	}
+}
+
+func TestProtocolBreakdownEmpty(t *testing.T) {
+	s := mustStore(t, nil)
+	if got := ProtocolBreakdown(s); len(got) != 0 {
+		t.Errorf("breakdown of empty store = %v", got)
+	}
+}
+
+func TestFamilyProtocolTable(t *testing.T) {
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0, time.Hour),
+		mkAttack(2, dataset.Blackenergy, 2, "5.5.5.2", t0.Add(time.Hour), time.Hour),
+		mkAttack(3, dataset.Blackenergy, 2, "5.5.5.3", t0.Add(2*time.Hour), time.Hour),
+	}
+	attacks[2].Category = dataset.CategorySYN
+	s := mustStore(t, attacks)
+	rows := FamilyProtocolTable(s)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// HTTP rows come first (category display order), families alphabetical.
+	if rows[0].Family != dataset.Blackenergy || rows[0].Category != dataset.CategoryHTTP || rows[0].Count != 1 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Family != dataset.Dirtjumper || rows[1].Count != 1 {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+	if rows[2].Category != dataset.CategorySYN || rows[2].Family != dataset.Blackenergy {
+		t.Errorf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestDailyDistribution(t *testing.T) {
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0.Add(2*time.Hour), time.Hour),
+		mkAttack(2, dataset.Dirtjumper, 1, "5.5.5.2", t0.Add(5*time.Hour), time.Hour),
+		mkAttack(3, dataset.Pandora, 2, "5.5.5.3", t0.Add(26*time.Hour), time.Hour),
+		mkAttack(4, dataset.Dirtjumper, 1, "5.5.5.4", t0.Add(27*time.Hour), time.Hour),
+		mkAttack(5, dataset.Dirtjumper, 1, "5.5.5.5", t0.Add(28*time.Hour), time.Hour),
+	}
+	s := mustStore(t, attacks)
+	stats, err := DailyDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Days) != 2 {
+		t.Fatalf("days = %d, want 2", len(stats.Days))
+	}
+	if stats.Days[0].Count != 2 || stats.Days[1].Count != 3 {
+		t.Errorf("daily counts = %d, %d, want 2, 3", stats.Days[0].Count, stats.Days[1].Count)
+	}
+	if stats.Max != 3 || !stats.MaxDay.Equal(t0.AddDate(0, 0, 1)) {
+		t.Errorf("max = %d on %v, want 3 on day 2", stats.Max, stats.MaxDay)
+	}
+	if stats.MaxDominantFamily != dataset.Dirtjumper {
+		t.Errorf("dominant family = %s, want dirtjumper", stats.MaxDominantFamily)
+	}
+	if stats.Average != 2.5 {
+		t.Errorf("average = %v, want 2.5", stats.Average)
+	}
+}
+
+func TestDailyDistributionCountsGapDays(t *testing.T) {
+	// Two attacks ten days apart: average must divide by the full span.
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0, time.Hour),
+		mkAttack(2, dataset.Dirtjumper, 1, "5.5.5.2", t0.AddDate(0, 0, 9), time.Hour),
+	}
+	s := mustStore(t, attacks)
+	stats, err := DailyDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Average != 0.2 {
+		t.Errorf("average = %v, want 0.2 (2 attacks over 10 days)", stats.Average)
+	}
+}
+
+func TestDailyDistributionEmpty(t *testing.T) {
+	s := mustStore(t, nil)
+	if _, err := DailyDistribution(s); err == nil {
+		t.Error("empty store succeeded")
+	}
+}
+
+func TestFamilyActivity(t *testing.T) {
+	attacks := []*dataset.Attack{
+		mkAttack(1, dataset.Dirtjumper, 1, "5.5.5.1", t0, time.Hour),
+		mkAttack(2, dataset.Dirtjumper, 1, "5.5.5.2", t0.AddDate(0, 0, 10), time.Hour),
+		mkAttack(3, dataset.Pandora, 2, "5.5.5.3", t0.AddDate(0, 0, 5), time.Hour),
+	}
+	s := mustStore(t, attacks)
+	got := FamilyActivity(s)
+	if len(got) != 2 {
+		t.Fatalf("windows = %d, want 2", len(got))
+	}
+	if got[0].Family != dataset.Dirtjumper || got[0].Attacks != 2 {
+		t.Errorf("first window = %+v, want dirtjumper x2", got[0])
+	}
+	if got[1].Family != dataset.Pandora || got[1].Coverage != 0 {
+		t.Errorf("pandora window = %+v, want single-point coverage 0", got[1])
+	}
+	if got[0].Coverage < 0.9 {
+		t.Errorf("dirtjumper coverage = %v, want ~1", got[0].Coverage)
+	}
+}
+
+func TestFamilyActivityEmpty(t *testing.T) {
+	if got := FamilyActivity(mustStore(t, nil)); got != nil {
+		t.Errorf("activity of empty store = %v", got)
+	}
+}
+
+func TestOverviewOnSynthWorkload(t *testing.T) {
+	s := synthWorkload(t)
+	breakdown := ProtocolBreakdown(s)
+	if breakdown[0].Category != dataset.CategoryHTTP {
+		t.Errorf("dominant protocol = %v, want HTTP (Fig 1)", breakdown[0].Category)
+	}
+	stats, err := DailyDistribution(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Max <= int(stats.Average) {
+		t.Errorf("max day %d not above average %v", stats.Max, stats.Average)
+	}
+	act := FamilyActivity(s)
+	if act[0].Family != dataset.Dirtjumper {
+		t.Errorf("most active family = %s, want dirtjumper", act[0].Family)
+	}
+}

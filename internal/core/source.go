@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"botscope/internal/dataset"
+	"botscope/internal/geo"
+	"botscope/internal/stats"
+)
+
+// SymmetryToleranceKm is the dispersion below which a bot formation is
+// treated as geographically symmetric ("zero" in the paper's Figs 9-11).
+// The paper's commercial geocoder snapped bots to city centroids, making
+// exact zeros possible; with per-IP jitter a small tolerance stands in.
+const SymmetryToleranceKm = 150.0
+
+// DispersionPoint is the paper's geolocation-distribution value of one
+// attack: |sum of signed distances| of its bots around their center.
+type DispersionPoint struct {
+	AttackID dataset.DDoSID
+	Value    float64 // km
+}
+
+// DispersionSeries computes each attack's dispersion for one family, in
+// chronological order (the raw series behind Figs 9-13). Bots whose IPs
+// cannot be resolved in the Botlist are skipped; attacks with no
+// resolvable bots are dropped.
+func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
+	attacks := s.ByFamily(f)
+	out := make([]DispersionPoint, 0, len(attacks))
+	for _, a := range attacks {
+		pts := botPoints(s, a)
+		if len(pts) == 0 {
+			continue
+		}
+		d, ok := geo.Dispersion(pts)
+		if !ok {
+			continue
+		}
+		out = append(out, DispersionPoint{AttackID: a.ID, Value: d})
+	}
+	return out
+}
+
+func botPoints(s *dataset.Store, a *dataset.Attack) []geo.LatLon {
+	pts := make([]geo.LatLon, 0, len(a.BotIPs))
+	for _, ip := range a.BotIPs {
+		if b, ok := s.Bot(ip); ok {
+			pts = append(pts, geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+		}
+	}
+	return pts
+}
+
+// DispersionValues strips a series down to its float values.
+func DispersionValues(series []DispersionPoint) []float64 {
+	out := make([]float64, len(series))
+	for i, p := range series {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// DispersionProfile is the per-family §IV-A characterization: how often
+// the formation is symmetric, and the statistics of the asymmetric part.
+// The paper reports Pandora 76.7% symmetric with asymmetric mean ~566 km,
+// and Blackenergy 89.5% symmetric with asymmetric mean ~4,304 km.
+type DispersionProfile struct {
+	Family        dataset.Family
+	N             int
+	SymmetricFrac float64
+	// Asymmetric summarizes the values above the symmetry tolerance.
+	Asymmetric stats.Summary
+}
+
+// ProfileDispersion builds a family's dispersion profile. The error is
+// non-nil when the family has no usable attacks.
+func ProfileDispersion(s *dataset.Store, f dataset.Family) (DispersionProfile, error) {
+	series := DispersionSeries(s, f)
+	if len(series) == 0 {
+		return DispersionProfile{}, fmt.Errorf("core: family %s has no dispersion data", f)
+	}
+	var asym []float64
+	symmetric := 0
+	for _, p := range series {
+		if p.Value <= SymmetryToleranceKm {
+			symmetric++
+		} else {
+			asym = append(asym, p.Value)
+		}
+	}
+	return DispersionProfile{
+		Family:        f,
+		N:             len(series),
+		SymmetricFrac: float64(symmetric) / float64(len(series)),
+		Asymmetric:    stats.Summarize(asym),
+	}, nil
+}
+
+// DispersionCDF builds the Fig 9 per-family CDF over all dispersion values
+// (symmetric included).
+func DispersionCDF(s *dataset.Store, f dataset.Family) (*stats.ECDF, error) {
+	series := DispersionSeries(s, f)
+	if len(series) == 0 {
+		return nil, fmt.Errorf("core: family %s has no dispersion data", f)
+	}
+	return stats.NewECDF(DispersionValues(series)), nil
+}
+
+// DispersionHistogram builds the Figs 10/11 histogram of the asymmetric
+// dispersion values (symmetric ones removed, exactly as the paper does).
+func DispersionHistogram(s *dataset.Store, f dataset.Family, bins int) (*stats.Histogram, error) {
+	series := DispersionSeries(s, f)
+	var asym []float64
+	for _, p := range series {
+		if p.Value > SymmetryToleranceKm {
+			asym = append(asym, p.Value)
+		}
+	}
+	if len(asym) == 0 {
+		return nil, fmt.Errorf("core: family %s has no asymmetric dispersion values", f)
+	}
+	hi := stats.Max(asym) * 1.01
+	h, err := stats.NewHistogram(0, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.AddAll(asym)
+	return h, nil
+}
+
+// ActiveDispersionFamilies returns the families with at least minPoints
+// dispersion observations, sorted by count descending. Fig 9 reports the
+// six families with >= 10 snapshots.
+func ActiveDispersionFamilies(s *dataset.Store, minPoints int) []dataset.Family {
+	type fc struct {
+		f dataset.Family
+		n int
+	}
+	var list []fc
+	for _, f := range s.Families() {
+		if n := len(DispersionSeries(s, f)); n >= minPoints {
+			list = append(list, fc{f: f, n: n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].f < list[j].f
+	})
+	out := make([]dataset.Family, len(list))
+	for i, x := range list {
+		out[i] = x.f
+	}
+	return out
+}
+
+// AttackerTargetDistance returns, for each attack of a family, the
+// distance in km between the bot formation's center and the target — the
+// quantity behind the paper's "average distance between attackers and
+// targets is about 3,500 km" observation.
+func AttackerTargetDistance(s *dataset.Store, f dataset.Family) []float64 {
+	attacks := s.ByFamily(f)
+	out := make([]float64, 0, len(attacks))
+	for _, a := range attacks {
+		pts := botPoints(s, a)
+		if len(pts) == 0 {
+			continue
+		}
+		center, ok := geo.Center(pts)
+		if !ok {
+			continue
+		}
+		out = append(out, geo.Haversine(center, geo.LatLon{Lat: a.TargetLat, Lon: a.TargetLon}))
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"botscope/internal/dataset"
+	"botscope/internal/synth"
+)
+
+var t0 = time.Date(2012, 8, 29, 0, 0, 0, 0, time.UTC)
+
+var (
+	synthOnce  sync.Once
+	synthStore *dataset.Store
+	synthErr   error
+)
+
+// synthWorkload returns a shared scaled-down paper workload.
+func synthWorkload(t *testing.T) *dataset.Store {
+	t.Helper()
+	synthOnce.Do(func() {
+		synthStore, synthErr = synth.GenerateStore(synth.Config{Seed: 99, Scale: 0.05})
+	})
+	if synthErr != nil {
+		t.Fatal(synthErr)
+	}
+	return synthStore
+}
+
+// mkAttack builds a valid attack with common defaults.
+func mkAttack(id dataset.DDoSID, f dataset.Family, botnet dataset.BotnetID, target string, start time.Time, dur time.Duration) *dataset.Attack {
+	return &dataset.Attack{
+		ID:            id,
+		BotnetID:      botnet,
+		Family:        f,
+		Category:      dataset.CategoryHTTP,
+		TargetIP:      netip.MustParseAddr(target),
+		Start:         start,
+		End:           start.Add(dur),
+		BotIPs:        []netip.Addr{netip.MustParseAddr("9.9.9.9")},
+		TargetASN:     100,
+		TargetCountry: "US",
+		TargetCity:    "Ashburn",
+		TargetOrg:     "Ashburn Hosting 1",
+		TargetLat:     39.0,
+		TargetLon:     -77.5,
+	}
+}
+
+// mustStore indexes attacks (plus optional bots) or fails the test.
+func mustStore(t *testing.T, attacks []*dataset.Attack, bots ...*dataset.Bot) *dataset.Store {
+	t.Helper()
+	s, err := dataset.NewStore(attacks, nil, bots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"botscope/internal/dataset"
+	"botscope/internal/stats"
+	"botscope/internal/timeseries"
+)
+
+// The paper's introduction argues that behaviors "once learned in one
+// family can be used to understand behavior in other families". This file
+// tests that claim mechanically: fit the dispersion model on a source
+// family, apply its coefficients unchanged to a target family's series,
+// and compare against a natively fitted model.
+
+// TransferResult scores cross-family model transfer for one (source,
+// target) pair.
+type TransferResult struct {
+	Source dataset.Family
+	Target dataset.Family
+	// TransferSimilarity is the cosine similarity of one-step forecasts on
+	// the target's evaluation half using the source-fitted model.
+	TransferSimilarity float64
+	// NativeSimilarity is the same with a model fitted on the target's own
+	// training half.
+	NativeSimilarity float64
+	// Retention is transfer/native — how much predictive power survives
+	// the transfer (1.0 means the source model works as well as native).
+	Retention float64
+}
+
+// TransferPredict fits ARIMA on source's dispersion series and evaluates
+// it one-step-ahead on target's series (second half), against a natively
+// fitted reference. Both families need at least minSeries points.
+func TransferPredict(s *dataset.Store, source, target dataset.Family, order timeseries.Order, minSeries int) (*TransferResult, error) {
+	if minSeries <= 0 {
+		minSeries = 60
+	}
+	src := DispersionValues(DispersionSeries(s, source))
+	tgt := DispersionValues(DispersionSeries(s, target))
+	if len(src) < minSeries {
+		return nil, fmt.Errorf("core: source %s has %d dispersion points, need %d", source, len(src), minSeries)
+	}
+	if len(tgt) < minSeries {
+		return nil, fmt.Errorf("core: target %s has %d dispersion points, need %d", target, len(tgt), minSeries)
+	}
+	split := len(tgt) / 2
+	truth := tgt[split:]
+
+	// Source-fitted model: coefficients from the source family; the mean
+	// is re-anchored to the target's training mean (levels differ per
+	// family, shapes transfer).
+	srcModel, err := timeseries.Fit(src, order)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit source %s: %w", source, err)
+	}
+	transferred := &timeseries.Model{
+		Order:  srcModel.Order,
+		Mu:     stats.Mean(tgt[:split]),
+		AR:     srcModel.AR,
+		MA:     srcModel.MA,
+		Sigma2: srcModel.Sigma2,
+	}
+	transferPreds, err := transferred.OneStepForecasts(tgt, split)
+	if err != nil {
+		return nil, fmt.Errorf("core: transfer forecast %s->%s: %w", source, target, err)
+	}
+	clampNonNegative(transferPreds)
+	transferSim, err := stats.CosineSimilarity(transferPreds, truth)
+	if err != nil {
+		return nil, err
+	}
+
+	nativeModel, err := timeseries.Fit(tgt[:split], order)
+	if err != nil {
+		return nil, fmt.Errorf("core: fit native %s: %w", target, err)
+	}
+	nativePreds, err := nativeModel.OneStepForecasts(tgt, split)
+	if err != nil {
+		return nil, err
+	}
+	clampNonNegative(nativePreds)
+	nativeSim, err := stats.CosineSimilarity(nativePreds, truth)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TransferResult{
+		Source:             source,
+		Target:             target,
+		TransferSimilarity: transferSim,
+		NativeSimilarity:   nativeSim,
+	}
+	if nativeSim != 0 {
+		res.Retention = transferSim / nativeSim
+	}
+	return res, nil
+}
+
+func clampNonNegative(xs []float64) {
+	for i, x := range xs {
+		if x < 0 {
+			xs[i] = 0
+		}
+	}
+}
+
+// TransferMatrix evaluates every ordered pair of the given families and
+// returns the successful results. Pairs whose series are too short or
+// whose fits fail are skipped.
+func TransferMatrix(s *dataset.Store, families []dataset.Family, order timeseries.Order, minSeries int) []*TransferResult {
+	var out []*TransferResult
+	for _, src := range families {
+		for _, tgt := range families {
+			if src == tgt {
+				continue
+			}
+			res, err := TransferPredict(s, src, tgt, order, minSeries)
+			if err != nil {
+				continue
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}

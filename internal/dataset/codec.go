@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// csvHeader is the column layout of the attack CSV format, mirroring the
+// field names of Table I (with `org` added for the organization-level
+// analysis and `family` added for attribution).
+var csvHeader = []string{
+	"ddos_id", "botnet_id", "family", "category", "target_ip",
+	"timestamp", "end_time", "botnet_ips", "asn", "cc", "city", "org",
+	"latitude", "longitude",
+}
+
+// WriteCSV encodes attacks to w in the Table I CSV layout. Bot IPs are
+// semicolon-joined inside one column.
+func WriteCSV(w io.Writer, attacks []*Attack) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, a := range attacks {
+		ips := make([]string, len(a.BotIPs))
+		for i, ip := range a.BotIPs {
+			ips[i] = ip.String()
+		}
+		row[0] = strconv.FormatUint(uint64(a.ID), 10)
+		row[1] = strconv.FormatUint(uint64(a.BotnetID), 10)
+		row[2] = string(a.Family)
+		row[3] = a.Category.String()
+		row[4] = a.TargetIP.String()
+		row[5] = a.Start.UTC().Format(time.RFC3339)
+		row[6] = a.End.UTC().Format(time.RFC3339)
+		row[7] = strings.Join(ips, ";")
+		row[8] = strconv.Itoa(a.TargetASN)
+		row[9] = a.TargetCountry
+		row[10] = a.TargetCity
+		row[11] = a.TargetOrg
+		row[12] = strconv.FormatFloat(a.TargetLat, 'f', 6, 64)
+		row[13] = strconv.FormatFloat(a.TargetLon, 'f', 6, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row for attack %d: %w", a.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes attacks written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*Attack, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("dataset: csv header mismatch at column %d: got %q, want %q", i, header[i], col)
+		}
+	}
+	var attacks []*Attack
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		a, err := parseCSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+		}
+		attacks = append(attacks, a)
+	}
+	return attacks, nil
+}
+
+func parseCSVRow(row []string) (*Attack, error) {
+	id, err := strconv.ParseUint(row[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("ddos_id: %w", err)
+	}
+	botnetID, err := strconv.ParseUint(row[1], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("botnet_id: %w", err)
+	}
+	cat, err := ParseCategory(row[3])
+	if err != nil {
+		return nil, err
+	}
+	target, err := netip.ParseAddr(row[4])
+	if err != nil {
+		return nil, fmt.Errorf("target_ip: %w", err)
+	}
+	start, err := time.Parse(time.RFC3339, row[5])
+	if err != nil {
+		return nil, fmt.Errorf("timestamp: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, row[6])
+	if err != nil {
+		return nil, fmt.Errorf("end_time: %w", err)
+	}
+	var botIPs []netip.Addr
+	if row[7] != "" {
+		parts := strings.Split(row[7], ";")
+		botIPs = make([]netip.Addr, 0, len(parts))
+		for _, p := range parts {
+			ip, ipErr := netip.ParseAddr(p)
+			if ipErr != nil {
+				return nil, fmt.Errorf("botnet_ips: %w", ipErr)
+			}
+			botIPs = append(botIPs, ip)
+		}
+	}
+	asn, err := strconv.Atoi(row[8])
+	if err != nil {
+		return nil, fmt.Errorf("asn: %w", err)
+	}
+	lat, err := strconv.ParseFloat(row[12], 64)
+	if err != nil {
+		return nil, fmt.Errorf("latitude: %w", err)
+	}
+	lon, err := strconv.ParseFloat(row[13], 64)
+	if err != nil {
+		return nil, fmt.Errorf("longitude: %w", err)
+	}
+	return &Attack{
+		ID:            DDoSID(id),
+		BotnetID:      BotnetID(botnetID),
+		Family:        Family(row[2]),
+		Category:      cat,
+		TargetIP:      target,
+		Start:         start,
+		End:           end,
+		BotIPs:        botIPs,
+		TargetASN:     asn,
+		TargetCountry: row[9],
+		TargetCity:    row[10],
+		TargetOrg:     row[11],
+		TargetLat:     lat,
+		TargetLon:     lon,
+	}, nil
+}
+
+// attackJSON is the stable wire form of an Attack for JSON-lines export.
+type attackJSON struct {
+	ID        uint64   `json:"ddos_id"`
+	BotnetID  uint32   `json:"botnet_id"`
+	Family    string   `json:"family"`
+	Category  string   `json:"category"`
+	TargetIP  string   `json:"target_ip"`
+	Timestamp string   `json:"timestamp"`
+	EndTime   string   `json:"end_time"`
+	BotIPs    []string `json:"botnet_ips"`
+	ASN       int      `json:"asn"`
+	CC        string   `json:"cc"`
+	City      string   `json:"city"`
+	Org       string   `json:"org"`
+	Latitude  float64  `json:"latitude"`
+	Longitude float64  `json:"longitude"`
+}
+
+// WriteJSONL encodes attacks as one JSON object per line.
+func WriteJSONL(w io.Writer, attacks []*Attack) error {
+	enc := json.NewEncoder(w)
+	for _, a := range attacks {
+		ips := make([]string, len(a.BotIPs))
+		for i, ip := range a.BotIPs {
+			ips[i] = ip.String()
+		}
+		rec := attackJSON{
+			ID:        uint64(a.ID),
+			BotnetID:  uint32(a.BotnetID),
+			Family:    string(a.Family),
+			Category:  a.Category.String(),
+			TargetIP:  a.TargetIP.String(),
+			Timestamp: a.Start.UTC().Format(time.RFC3339),
+			EndTime:   a.End.UTC().Format(time.RFC3339),
+			BotIPs:    ips,
+			ASN:       a.TargetASN,
+			CC:        a.TargetCountry,
+			City:      a.TargetCity,
+			Org:       a.TargetOrg,
+			Latitude:  a.TargetLat,
+			Longitude: a.TargetLon,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("dataset: encode attack %d: %w", a.ID, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes attacks written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*Attack, error) {
+	dec := json.NewDecoder(r)
+	var attacks []*Attack
+	for n := 1; ; n++ {
+		var rec attackJSON
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: decode jsonl record %d: %w", n, err)
+		}
+		cat, err := ParseCategory(rec.Category)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: jsonl record %d: %w", n, err)
+		}
+		target, err := netip.ParseAddr(rec.TargetIP)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: jsonl record %d target_ip: %w", n, err)
+		}
+		start, err := time.Parse(time.RFC3339, rec.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: jsonl record %d timestamp: %w", n, err)
+		}
+		end, err := time.Parse(time.RFC3339, rec.EndTime)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: jsonl record %d end_time: %w", n, err)
+		}
+		botIPs := make([]netip.Addr, 0, len(rec.BotIPs))
+		for _, s := range rec.BotIPs {
+			ip, ipErr := netip.ParseAddr(s)
+			if ipErr != nil {
+				return nil, fmt.Errorf("dataset: jsonl record %d botnet_ips: %w", n, ipErr)
+			}
+			botIPs = append(botIPs, ip)
+		}
+		attacks = append(attacks, &Attack{
+			ID:            DDoSID(rec.ID),
+			BotnetID:      BotnetID(rec.BotnetID),
+			Family:        Family(rec.Family),
+			Category:      cat,
+			TargetIP:      target,
+			Start:         start,
+			End:           end,
+			BotIPs:        botIPs,
+			TargetASN:     rec.ASN,
+			TargetCountry: rec.CC,
+			TargetCity:    rec.City,
+			TargetOrg:     rec.Org,
+			TargetLat:     rec.Latitude,
+			TargetLon:     rec.Longitude,
+		})
+	}
+	return attacks, nil
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleAttacks() []*Attack {
+	a1 := validAttack(1)
+	a2 := validAttack(2)
+	a2.Family = Pandora
+	a2.Category = CategoryUDP
+	a2.BotnetID = 9
+	a2.TargetIP = netip.MustParseAddr("7.7.7.7")
+	a2.Start = t0.Add(3 * time.Hour)
+	a2.End = a2.Start.Add(45 * time.Minute)
+	a2.BotIPs = []netip.Addr{
+		netip.MustParseAddr("6.6.6.6"),
+		netip.MustParseAddr("6.6.6.7"),
+		netip.MustParseAddr("6.6.6.8"),
+	}
+	return []*Attack{a1, a2}
+}
+
+func attacksEqual(t *testing.T, got, want []*Attack) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.ID != w.ID || g.BotnetID != w.BotnetID || g.Family != w.Family ||
+			g.Category != w.Category || g.TargetIP != w.TargetIP {
+			t.Errorf("record %d identity mismatch: %+v vs %+v", i, g, w)
+		}
+		if !g.Start.Equal(w.Start) || !g.End.Equal(w.End) {
+			t.Errorf("record %d time mismatch: %v-%v vs %v-%v", i, g.Start, g.End, w.Start, w.End)
+		}
+		if len(g.BotIPs) != len(w.BotIPs) {
+			t.Errorf("record %d bot IPs = %d, want %d", i, len(g.BotIPs), len(w.BotIPs))
+			continue
+		}
+		for j := range w.BotIPs {
+			if g.BotIPs[j] != w.BotIPs[j] {
+				t.Errorf("record %d bot IP %d = %v, want %v", i, j, g.BotIPs[j], w.BotIPs[j])
+			}
+		}
+		if g.TargetASN != w.TargetASN || g.TargetCountry != w.TargetCountry ||
+			g.TargetCity != w.TargetCity || g.TargetOrg != w.TargetOrg {
+			t.Errorf("record %d geo mismatch", i)
+		}
+		if g.TargetLat != w.TargetLat || g.TargetLon != w.TargetLon {
+			t.Errorf("record %d coords = (%v,%v), want (%v,%v)", i, g.TargetLat, g.TargetLon, w.TargetLat, w.TargetLon)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := sampleAttacks()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacksEqual(t, got, want)
+}
+
+func TestCSVHeaderValidation(t *testing.T) {
+	bad := "wrong,header,entirely,a,b,c,d,e,f,g,h,i,j,k\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleAttacks()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	lines := strings.Split(strings.TrimSpace(good), "\n")
+
+	tests := []struct {
+		name string
+		row  string
+	}{
+		{name: "bad id", row: strings.Replace(lines[1], "1,", "xx,", 1)},
+		{name: "bad category", row: strings.Replace(lines[1], "HTTP", "BOGUS", 1)},
+		{name: "bad ip", row: strings.Replace(lines[1], "5.5.5.5", "not-an-ip", 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			input := lines[0] + "\n" + tt.row + "\n"
+			if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+				t.Error("malformed row accepted")
+			}
+		})
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := sampleAttacks()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Errorf("JSONL lines = %d, want %d", lines, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacksEqual(t, got, want)
+}
+
+func TestJSONLBadInput(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{name: "garbage", input: "{not json}\n"},
+		{name: "bad category", input: `{"ddos_id":1,"botnet_id":1,"family":"x","category":"NOPE","target_ip":"1.2.3.4","timestamp":"2012-08-29T00:00:00Z","end_time":"2012-08-29T01:00:00Z","botnet_ips":["5.6.7.8"],"asn":1,"cc":"US","city":"a","org":"b","latitude":1,"longitude":2}` + "\n"},
+		{name: "bad target ip", input: `{"ddos_id":1,"botnet_id":1,"family":"x","category":"HTTP","target_ip":"zzz","timestamp":"2012-08-29T00:00:00Z","end_time":"2012-08-29T01:00:00Z","botnet_ips":[],"asn":1,"cc":"US","city":"a","org":"b","latitude":1,"longitude":2}` + "\n"},
+		{name: "bad timestamp", input: `{"ddos_id":1,"botnet_id":1,"family":"x","category":"HTTP","target_ip":"1.2.3.4","timestamp":"yesterday","end_time":"2012-08-29T01:00:00Z","botnet_ips":[],"asn":1,"cc":"US","city":"a","org":"b","latitude":1,"longitude":2}` + "\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSONL(strings.NewReader(tt.input)); err == nil {
+				t.Error("bad input accepted")
+			}
+		})
+	}
+}
+
+func TestJSONLEmptyInput(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from empty input", len(got))
+	}
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// filterFixture builds a store with varied attacks for filter tests.
+func filterFixture(t *testing.T) *Store {
+	t.Helper()
+	bot := &Bot{IP: netip.MustParseAddr("9.9.9.9"), CountryCode: "RU", City: "m", Org: "o", ASN: 1}
+	a1 := validAttack(1) // dirtjumper HTTP, RU target, t0
+	a1.BotIPs = []netip.Addr{bot.IP}
+	a2 := validAttack(2)
+	a2.Family = Pandora
+	a2.Category = CategoryUDP
+	a2.Start = t0.AddDate(0, 0, 10)
+	a2.End = a2.Start.Add(time.Hour)
+	a2.TargetCountry = "US"
+	a3 := validAttack(3)
+	a3.Family = Pandora
+	a3.Start = t0.AddDate(0, 0, 20)
+	a3.End = a3.Start.Add(time.Hour)
+	a3.BotIPs = []netip.Addr{
+		netip.MustParseAddr("9.9.9.9"),
+		netip.MustParseAddr("9.9.9.10"),
+	}
+	botnets := []*Botnet{{ID: 1, Family: Dirtjumper}}
+	s, err := NewStore([]*Attack{a1, a2, a3}, botnets, []*Bot{bot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSubsetByFamily(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{Families: []Family{Pandora}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != 2 {
+		t.Errorf("attacks = %d, want 2", sub.NumAttacks())
+	}
+	for _, a := range sub.Attacks() {
+		if a.Family != Pandora {
+			t.Errorf("leaked family %s", a.Family)
+		}
+	}
+}
+
+func TestSubsetByCategoryAndCountry(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{Categories: []Category{CategoryUDP}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != 1 || sub.Attacks()[0].ID != 2 {
+		t.Errorf("UDP filter = %d attacks", sub.NumAttacks())
+	}
+
+	sub, err = s.Subset(Filter{TargetCountry: "US"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != 1 || sub.Attacks()[0].ID != 2 {
+		t.Errorf("US filter = %d attacks", sub.NumAttacks())
+	}
+}
+
+func TestSubsetByTime(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{From: t0.AddDate(0, 0, 5), To: t0.AddDate(0, 0, 15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != 1 || sub.Attacks()[0].ID != 2 {
+		t.Errorf("time filter = %d attacks", sub.NumAttacks())
+	}
+}
+
+func TestSubsetByMagnitude(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{MinMagnitude: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != 1 || sub.Attacks()[0].ID != 3 {
+		t.Errorf("magnitude filter = %d attacks", sub.NumAttacks())
+	}
+}
+
+func TestSubsetCarriesReferencedRecords(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{Families: []Family{Dirtjumper}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sub.Botnet(1); !ok {
+		t.Error("botnet record dropped")
+	}
+	if _, ok := sub.Bot(netip.MustParseAddr("9.9.9.9")); !ok {
+		t.Error("referenced bot dropped")
+	}
+}
+
+func TestSubsetEmptyResult(t *testing.T) {
+	s := filterFixture(t)
+	if _, err := s.Subset(Filter{Families: []Family{Optima}}); err == nil {
+		t.Error("empty subset succeeded")
+	}
+}
+
+func TestSubsetEverything(t *testing.T) {
+	s := filterFixture(t)
+	sub, err := s.Subset(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumAttacks() != s.NumAttacks() {
+		t.Errorf("identity filter = %d attacks, want %d", sub.NumAttacks(), s.NumAttacks())
+	}
+}

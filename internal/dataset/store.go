@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// Store is an immutable, indexed view over one workload: the attack list
+// plus the bot and botnet schemas it references. Construction sorts and
+// indexes everything once; queries are then cheap. A Store is safe for
+// concurrent readers.
+type Store struct {
+	attacks  []*Attack // sorted by (Start, ID)
+	botnets  map[BotnetID]*Botnet
+	bots     map[netip.Addr]*Bot
+	byFamily map[Family][]*Attack
+	byTarget map[netip.Addr][]*Attack
+	byBotnet map[BotnetID][]*Attack
+}
+
+// NewStore validates, sorts, and indexes a workload. Bots and botnets may
+// be nil when only attack-level analyses are needed.
+func NewStore(attacks []*Attack, botnets []*Botnet, bots []*Bot) (*Store, error) {
+	s := &Store{
+		attacks:  make([]*Attack, 0, len(attacks)),
+		botnets:  make(map[BotnetID]*Botnet, len(botnets)),
+		bots:     make(map[netip.Addr]*Bot, len(bots)),
+		byFamily: make(map[Family][]*Attack),
+		byTarget: make(map[netip.Addr][]*Attack),
+		byBotnet: make(map[BotnetID][]*Attack),
+	}
+	seen := make(map[DDoSID]bool, len(attacks))
+	for _, a := range attacks {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[a.ID] {
+			return nil, fmt.Errorf("dataset: duplicate ddos_id %d", a.ID)
+		}
+		seen[a.ID] = true
+		s.attacks = append(s.attacks, a)
+	}
+	sort.Slice(s.attacks, func(i, j int) bool {
+		if !s.attacks[i].Start.Equal(s.attacks[j].Start) {
+			return s.attacks[i].Start.Before(s.attacks[j].Start)
+		}
+		return s.attacks[i].ID < s.attacks[j].ID
+	})
+	for _, a := range s.attacks {
+		s.byFamily[a.Family] = append(s.byFamily[a.Family], a)
+		s.byTarget[a.TargetIP] = append(s.byTarget[a.TargetIP], a)
+		s.byBotnet[a.BotnetID] = append(s.byBotnet[a.BotnetID], a)
+	}
+	for _, b := range botnets {
+		if _, dup := s.botnets[b.ID]; dup {
+			return nil, fmt.Errorf("dataset: duplicate botnet_id %d", b.ID)
+		}
+		s.botnets[b.ID] = b
+	}
+	for _, b := range bots {
+		s.bots[b.IP] = b
+	}
+	return s, nil
+}
+
+// NumAttacks returns the number of attack records.
+func (s *Store) NumAttacks() int { return len(s.attacks) }
+
+// Attacks returns all attacks ordered by start time. The slice is shared
+// and must not be modified; records themselves are shared too.
+func (s *Store) Attacks() []*Attack { return s.attacks }
+
+// ByFamily returns the family's attacks in start-time order.
+func (s *Store) ByFamily(f Family) []*Attack { return s.byFamily[f] }
+
+// ByTarget returns all attacks against one target IP in start-time order.
+func (s *Store) ByTarget(ip netip.Addr) []*Attack { return s.byTarget[ip] }
+
+// ByBotnet returns all attacks launched by one botnet in start-time order.
+func (s *Store) ByBotnet(id BotnetID) []*Attack { return s.byBotnet[id] }
+
+// Botnet resolves a botnet record.
+func (s *Store) Botnet(id BotnetID) (*Botnet, bool) {
+	b, ok := s.botnets[id]
+	return b, ok
+}
+
+// Bot resolves a bot record by IP.
+func (s *Store) Bot(ip netip.Addr) (*Bot, bool) {
+	b, ok := s.bots[ip]
+	return b, ok
+}
+
+// NumBots returns the number of Botlist records.
+func (s *Store) NumBots() int { return len(s.bots) }
+
+// NumBotnets returns the number of Botnetlist records.
+func (s *Store) NumBotnets() int { return len(s.botnets) }
+
+// Families returns every family that launched at least one attack, sorted.
+func (s *Store) Families() []Family {
+	out := make([]Family, 0, len(s.byFamily))
+	for f := range s.byFamily {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Targets returns every attacked IP, sorted.
+func (s *Store) Targets() []netip.Addr {
+	out := make([]netip.Addr, 0, len(s.byTarget))
+	for ip := range s.byTarget {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// InRange returns attacks with Start in [from, to), using the start-time
+// ordering for a binary-searched slice rather than a scan.
+func (s *Store) InRange(from, to time.Time) []*Attack {
+	lo := sort.Search(len(s.attacks), func(i int) bool {
+		return !s.attacks[i].Start.Before(from)
+	})
+	hi := sort.Search(len(s.attacks), func(i int) bool {
+		return !s.attacks[i].Start.Before(to)
+	})
+	return s.attacks[lo:hi]
+}
+
+// TimeBounds returns the earliest start and the latest end across all
+// attacks. ok is false for an empty store.
+func (s *Store) TimeBounds() (first, last time.Time, ok bool) {
+	if len(s.attacks) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first = s.attacks[0].Start
+	for _, a := range s.attacks {
+		if a.End.After(last) {
+			last = a.End
+		}
+	}
+	return first, last, true
+}
+
+// SummaryCounts mirrors the paper's Table III: distinct entities on the
+// attacker and victim sides.
+type SummaryCounts struct {
+	Attacks         int
+	Botnets         int
+	TrafficTypes    int
+	BotIPs          int
+	SourceCountries int
+	SourceCities    int
+	SourceOrgs      int
+	SourceASNs      int
+	TargetIPs       int
+	TargetCountries int
+	TargetCities    int
+	TargetOrgs      int
+	TargetASNs      int
+}
+
+// Summary computes Table III's counts over the full workload. Source-side
+// entity counts come from the Botlist records of the bots that appear in
+// attacks; target-side counts come from the attack records.
+func (s *Store) Summary() SummaryCounts {
+	var (
+		botIPs    = make(map[netip.Addr]bool)
+		botnets   = make(map[BotnetID]bool)
+		types     = make(map[Category]bool)
+		srcCC     = make(map[string]bool)
+		srcCity   = make(map[string]bool)
+		srcOrg    = make(map[string]bool)
+		srcASN    = make(map[int]bool)
+		tgtIPs    = make(map[netip.Addr]bool)
+		tgtCC     = make(map[string]bool)
+		tgtCities = make(map[string]bool)
+		tgtOrgs   = make(map[string]bool)
+		tgtASNs   = make(map[int]bool)
+	)
+	for _, a := range s.attacks {
+		botnets[a.BotnetID] = true
+		types[a.Category] = true
+		tgtIPs[a.TargetIP] = true
+		tgtCC[a.TargetCountry] = true
+		tgtCities[a.TargetCountry+"/"+a.TargetCity] = true
+		tgtOrgs[a.TargetOrg] = true
+		tgtASNs[a.TargetASN] = true
+		for _, ip := range a.BotIPs {
+			if botIPs[ip] {
+				continue
+			}
+			botIPs[ip] = true
+			if b, ok := s.bots[ip]; ok {
+				srcCC[b.CountryCode] = true
+				srcCity[b.CountryCode+"/"+b.City] = true
+				srcOrg[b.Org] = true
+				srcASN[b.ASN] = true
+			}
+		}
+	}
+	return SummaryCounts{
+		Attacks:         len(s.attacks),
+		Botnets:         len(botnets),
+		TrafficTypes:    len(types),
+		BotIPs:          len(botIPs),
+		SourceCountries: len(srcCC),
+		SourceCities:    len(srcCity),
+		SourceOrgs:      len(srcOrg),
+		SourceASNs:      len(srcASN),
+		TargetIPs:       len(tgtIPs),
+		TargetCountries: len(tgtCC),
+		TargetCities:    len(tgtCities),
+		TargetOrgs:      len(tgtOrgs),
+		TargetASNs:      len(tgtASNs),
+	}
+}

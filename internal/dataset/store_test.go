@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// buildAttack creates a valid attack with the given knobs.
+func buildAttack(id DDoSID, botnet BotnetID, family Family, target string, start time.Time, dur time.Duration) *Attack {
+	a := validAttack(id)
+	a.BotnetID = botnet
+	a.Family = family
+	a.TargetIP = netip.MustParseAddr(target)
+	a.Start = start
+	a.End = start.Add(dur)
+	return a
+}
+
+func TestNewStoreSortsAndIndexes(t *testing.T) {
+	attacks := []*Attack{
+		buildAttack(3, 2, Pandora, "5.5.5.5", t0.Add(2*time.Hour), time.Hour),
+		buildAttack(1, 1, Dirtjumper, "5.5.5.5", t0, time.Hour),
+		buildAttack(2, 1, Dirtjumper, "6.6.6.6", t0.Add(time.Hour), time.Hour),
+	}
+	s, err := NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAttacks() != 3 {
+		t.Fatalf("NumAttacks = %d, want 3", s.NumAttacks())
+	}
+	all := s.Attacks()
+	for i := 1; i < len(all); i++ {
+		if all[i].Start.Before(all[i-1].Start) {
+			t.Errorf("attacks not sorted at %d", i)
+		}
+	}
+	if got := len(s.ByFamily(Dirtjumper)); got != 2 {
+		t.Errorf("ByFamily(dirtjumper) = %d, want 2", got)
+	}
+	if got := len(s.ByTarget(netip.MustParseAddr("5.5.5.5"))); got != 2 {
+		t.Errorf("ByTarget(5.5.5.5) = %d, want 2", got)
+	}
+	if got := len(s.ByBotnet(1)); got != 2 {
+		t.Errorf("ByBotnet(1) = %d, want 2", got)
+	}
+	if got := s.Families(); len(got) != 2 || got[0] != Dirtjumper || got[1] != Pandora {
+		t.Errorf("Families = %v", got)
+	}
+	if got := s.Targets(); len(got) != 2 {
+		t.Errorf("Targets = %v", got)
+	}
+}
+
+func TestNewStoreRejectsDuplicates(t *testing.T) {
+	attacks := []*Attack{validAttack(1), validAttack(1)}
+	if _, err := NewStore(attacks, nil, nil); err == nil {
+		t.Error("duplicate ddos_id accepted")
+	}
+	botnets := []*Botnet{{ID: 1, Family: Dirtjumper}, {ID: 1, Family: Pandora}}
+	if _, err := NewStore(nil, botnets, nil); err == nil {
+		t.Error("duplicate botnet_id accepted")
+	}
+}
+
+func TestNewStoreRejectsInvalid(t *testing.T) {
+	bad := validAttack(1)
+	bad.BotIPs = nil
+	if _, err := NewStore([]*Attack{bad}, nil, nil); err == nil {
+		t.Error("invalid attack accepted")
+	}
+}
+
+func TestStoreInRange(t *testing.T) {
+	var attacks []*Attack
+	for i := 0; i < 10; i++ {
+		attacks = append(attacks, buildAttack(DDoSID(i+1), 1, Dirtjumper, "5.5.5.5",
+			t0.Add(time.Duration(i)*time.Hour), 30*time.Minute))
+	}
+	s, err := NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		from time.Time
+		to   time.Time
+		want int
+	}{
+		{name: "all", from: t0, to: t0.Add(11 * time.Hour), want: 10},
+		{name: "middle", from: t0.Add(2 * time.Hour), to: t0.Add(5 * time.Hour), want: 3},
+		{name: "empty window", from: t0.Add(100 * time.Hour), to: t0.Add(200 * time.Hour), want: 0},
+		{name: "half-open excludes to", from: t0, to: t0.Add(time.Hour), want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := len(s.InRange(tt.from, tt.to)); got != tt.want {
+				t.Errorf("InRange = %d attacks, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStoreTimeBounds(t *testing.T) {
+	s, err := NewStore(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.TimeBounds(); ok {
+		t.Error("TimeBounds on empty store reported ok")
+	}
+
+	attacks := []*Attack{
+		buildAttack(1, 1, Dirtjumper, "5.5.5.5", t0, 10*time.Hour), // ends latest
+		buildAttack(2, 1, Dirtjumper, "5.5.5.5", t0.Add(time.Hour), time.Hour),
+	}
+	s, err = NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, ok := s.TimeBounds()
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if !first.Equal(t0) {
+		t.Errorf("first = %v, want %v", first, t0)
+	}
+	if !last.Equal(t0.Add(10 * time.Hour)) {
+		t.Errorf("last = %v, want %v", last, t0.Add(10*time.Hour))
+	}
+}
+
+func TestStoreBotAndBotnetLookup(t *testing.T) {
+	botnets := []*Botnet{{ID: 7, Family: Pandora, Hash: "abc123"}}
+	bots := []*Bot{{IP: netip.MustParseAddr("9.9.9.9"), ASN: 42, CountryCode: "US", City: "Ashburn", Org: "Ashburn Hosting 1"}}
+	s, err := NewStore(nil, botnets, bots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.Botnet(7); !ok || b.Family != Pandora {
+		t.Errorf("Botnet(7) = %+v, %v", b, ok)
+	}
+	if _, ok := s.Botnet(8); ok {
+		t.Error("Botnet(8) resolved, want miss")
+	}
+	if b, ok := s.Bot(netip.MustParseAddr("9.9.9.9")); !ok || b.ASN != 42 {
+		t.Errorf("Bot lookup = %+v, %v", b, ok)
+	}
+	if _, ok := s.Bot(netip.MustParseAddr("1.1.1.1")); ok {
+		t.Error("unknown bot resolved")
+	}
+	if s.NumBots() != 1 || s.NumBotnets() != 1 {
+		t.Errorf("NumBots/NumBotnets = %d/%d, want 1/1", s.NumBots(), s.NumBotnets())
+	}
+}
+
+func TestStoreSummary(t *testing.T) {
+	botIP1 := netip.MustParseAddr("9.9.9.9")
+	botIP2 := netip.MustParseAddr("9.9.9.10")
+	a1 := validAttack(1)
+	a1.BotIPs = []netip.Addr{botIP1, botIP2}
+	a2 := validAttack(2)
+	a2.BotnetID = 2
+	a2.Category = CategoryUDP
+	a2.TargetIP = netip.MustParseAddr("7.7.7.7")
+	a2.TargetCountry = "US"
+	a2.TargetCity = "Ashburn"
+	a2.TargetOrg = "Ashburn Hosting 1"
+	a2.TargetASN = 999
+	a2.BotIPs = []netip.Addr{botIP1} // shared bot counted once
+
+	bots := []*Bot{
+		{IP: botIP1, ASN: 100, CountryCode: "BR", City: "Sao Paulo", Org: "Sao Paulo Net 1"},
+		{IP: botIP2, ASN: 101, CountryCode: "TR", City: "Istanbul", Org: "Istanbul Telecom 1"},
+	}
+	s, err := NewStore([]*Attack{a1, a2}, nil, bots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if sum.Attacks != 2 || sum.Botnets != 2 || sum.TrafficTypes != 2 {
+		t.Errorf("Attacks/Botnets/Types = %d/%d/%d, want 2/2/2", sum.Attacks, sum.Botnets, sum.TrafficTypes)
+	}
+	if sum.BotIPs != 2 {
+		t.Errorf("BotIPs = %d, want 2 (dedup across attacks)", sum.BotIPs)
+	}
+	if sum.SourceCountries != 2 || sum.SourceASNs != 2 || sum.SourceOrgs != 2 {
+		t.Errorf("source entities = %+v, want 2 each", sum)
+	}
+	if sum.TargetIPs != 2 || sum.TargetCountries != 2 || sum.TargetASNs != 2 {
+		t.Errorf("target entities = %+v, want 2 each", sum)
+	}
+}
+
+func TestStoreSummaryCityDisambiguation(t *testing.T) {
+	// Same city name in different countries must count twice.
+	a1 := validAttack(1)
+	a1.TargetCountry = "US"
+	a1.TargetCity = "Springfield"
+	a2 := validAttack(2)
+	a2.TargetIP = netip.MustParseAddr("7.7.7.7")
+	a2.TargetCountry = "CA"
+	a2.TargetCity = "Springfield"
+	s, err := NewStore([]*Attack{a1, a2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Summary().TargetCities; got != 2 {
+		t.Errorf("TargetCities = %d, want 2 (same name, different countries)", got)
+	}
+}

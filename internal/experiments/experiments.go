@@ -1,0 +1,156 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from a (synthetic) workload. Each experiment returns the
+// rendered text plus its headline metrics side by side with the paper's
+// published values, so EXPERIMENTS.md can be produced mechanically and the
+// benches in the repository root can time each regeneration.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"botscope/internal/dataset"
+	"botscope/internal/monitor"
+	"botscope/internal/synth"
+)
+
+// Metric is one measurable quantity of an experiment, with the paper's
+// reference value when the paper publishes one (NaN-free: PaperKnown
+// reports whether Paper is meaningful).
+type Metric struct {
+	Name       string
+	Measured   float64
+	Paper      float64
+	PaperKnown bool
+}
+
+// Result is the outcome of regenerating one table or figure.
+type Result struct {
+	// ID is the paper's label, e.g. "Table II" or "Figure 3".
+	ID string
+	// Title describes what the experiment shows.
+	Title string
+	// Text is the rendered table/chart.
+	Text string
+	// Metrics are the headline numbers, paper-aligned where available.
+	Metrics []Metric
+}
+
+// AddMetric appends a measured-only metric.
+func (r *Result) AddMetric(name string, measured float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Measured: measured})
+}
+
+// AddPaperMetric appends a metric with the paper's reference value.
+func (r *Result) AddPaperMetric(name string, measured, paper float64) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Measured: measured, Paper: paper, PaperKnown: true})
+}
+
+// MetricsText renders the metrics block under the experiment.
+func (r *Result) MetricsText() string {
+	if len(r.Metrics) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, m := range r.Metrics {
+		if m.PaperKnown {
+			fmt.Fprintf(&b, "  %-42s measured %12.3f   paper %12.3f\n", m.Name, m.Measured, m.Paper)
+		} else {
+			fmt.Fprintf(&b, "  %-42s measured %12.3f\n", m.Name, m.Measured)
+		}
+	}
+	return b.String()
+}
+
+// Workload bundles the generated dataset with the knobs experiments need.
+type Workload struct {
+	Store *dataset.Store
+	// Scale is the generation scale (1.0 = paper size); experiments use it
+	// to scale count expectations.
+	Scale float64
+	// collector is lazily shared across source experiments.
+	collector *monitor.Collector
+}
+
+// NewWorkload generates a synthetic workload at the given scale.
+func NewWorkload(seed int64, scale float64) (*Workload, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	store, err := synth.GenerateStore(synth.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate workload: %w", err)
+	}
+	return FromStore(store, scale), nil
+}
+
+// FromStore wraps an existing store (e.g. loaded from CSV).
+func FromStore(store *dataset.Store, scale float64) *Workload {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Workload{Store: store, Scale: scale, collector: monitor.NewCollector(store)}
+}
+
+// Experiment pairs an ID with its regeneration function.
+type Experiment struct {
+	ID  string
+	Run func() (*Result, error)
+}
+
+// All lists every experiment in paper order.
+func (w *Workload) All() []Experiment {
+	return []Experiment{
+		{ID: "Figure 1", Run: w.Figure1},
+		{ID: "Table II", Run: w.TableII},
+		{ID: "Table III", Run: w.TableIII},
+		{ID: "Figure 2", Run: w.Figure2},
+		{ID: "Figure 3", Run: w.Figure3},
+		{ID: "Figure 4", Run: w.Figure4},
+		{ID: "Figure 5", Run: w.Figure5},
+		{ID: "Figure 6", Run: w.Figure6},
+		{ID: "Figure 7", Run: w.Figure7},
+		{ID: "Figure 8", Run: w.Figure8},
+		{ID: "Figure 9", Run: w.Figure9},
+		{ID: "Figure 10", Run: w.Figure10},
+		{ID: "Figure 11", Run: w.Figure11},
+		{ID: "Figure 12", Run: w.Figure12},
+		{ID: "Figure 13", Run: w.Figure13},
+		{ID: "Table IV", Run: w.TableIV},
+		{ID: "Table V", Run: w.TableV},
+		{ID: "Figure 14", Run: w.Figure14},
+		{ID: "Table VI", Run: w.TableVI},
+		{ID: "Figure 15", Run: w.Figure15},
+		{ID: "Figure 16", Run: w.Figure16},
+		{ID: "Figure 17", Run: w.Figure17},
+		{ID: "Figure 18", Run: w.Figure18},
+		// Extensions: analyses the paper proposes but does not evaluate.
+		{ID: "Ext: Load", Run: w.ExtLoad},
+		{ID: "Ext: Diurnal", Run: w.ExtDiurnal},
+		{ID: "Ext: Calibration", Run: w.ExtCalibration},
+		{ID: "Ext: Defense", Run: w.ExtDefense},
+		{ID: "Ext: Transfer", Run: w.ExtTransfer},
+	}
+}
+
+// RunAll executes every experiment, collecting failures by ID.
+func (w *Workload) RunAll() ([]*Result, error) {
+	var (
+		results []*Result
+		errs    []string
+	)
+	for _, e := range w.All() {
+		res, err := e.Run()
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", e.ID, err))
+			continue
+		}
+		results = append(results, res)
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return results, fmt.Errorf("experiments: %s", strings.Join(errs, "; "))
+	}
+	return results, nil
+}

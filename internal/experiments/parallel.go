@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// RunAllParallel executes every experiment concurrently with at most
+// workers goroutines (0 means 4) and returns the results in All() order.
+// The context cancels outstanding work: experiments not yet started when
+// ctx is done are reported as failures; running ones finish normally
+// (analyses are CPU-bound and short).
+func (w *Workload) RunAllParallel(ctx context.Context, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	all := w.All()
+	type slot struct {
+		res *Result
+		err error
+	}
+	slots := make([]slot, len(all))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := all[idx].Run()
+				slots[idx] = slot{res: res, err: err}
+			}
+		}()
+	}
+
+feed:
+	for i := range all {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(all); j++ {
+				slots[j] = slot{err: fmt.Errorf("canceled: %w", ctx.Err())}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var (
+		results []*Result
+		errs    []string
+	)
+	for i, s := range slots {
+		if s.err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", all[i].ID, s.err))
+			continue
+		}
+		if s.res != nil {
+			results = append(results, s.res)
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return results, fmt.Errorf("experiments: %s", strings.Join(errs, "; "))
+	}
+	return results, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation is slow")
+	}
+	w := sharedWorkload(t)
+	seq, err := w.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := w.RunAllParallel(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel results = %d, sequential = %d", len(par), len(seq))
+	}
+	// Results arrive in All() order; IDs must match pairwise and metric
+	// values must be identical (analyses are deterministic).
+	for i := range seq {
+		if par[i].ID != seq[i].ID {
+			t.Errorf("order mismatch at %d: %s vs %s", i, par[i].ID, seq[i].ID)
+			continue
+		}
+		if len(par[i].Metrics) != len(seq[i].Metrics) {
+			t.Errorf("%s metric count differs", par[i].ID)
+			continue
+		}
+		for j := range seq[i].Metrics {
+			if par[i].Metrics[j].Measured != seq[i].Metrics[j].Measured {
+				t.Errorf("%s metric %q differs: %v vs %v", par[i].ID,
+					seq[i].Metrics[j].Name, par[i].Metrics[j].Measured, seq[i].Metrics[j].Measured)
+			}
+		}
+	}
+}
+
+func TestRunAllParallelCanceled(t *testing.T) {
+	w := sharedWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before any work starts
+	results, err := w.RunAllParallel(ctx, 2)
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	// Some experiments may still have been fed before the cancel won the
+	// race; none may be duplicated.
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate result %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRunAllParallelDefaultWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload generation is slow")
+	}
+	w := sharedWorkload(t)
+	results, err := w.RunAllParallel(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(w.All()) {
+		t.Errorf("results = %d, want %d", len(results), len(w.All()))
+	}
+}

@@ -1,0 +1,238 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	moscow   = LatLon{Lat: 55.76, Lon: 37.62}
+	newYork  = LatLon{Lat: 40.71, Lon: -74.01}
+	london   = LatLon{Lat: 51.51, Lon: -0.13}
+	sydney   = LatLon{Lat: -33.87, Lon: 151.21}
+	equator0 = LatLon{Lat: 0, Lon: 0}
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   LatLon
+		wantKm float64
+		tolKm  float64
+	}{
+		{name: "same point", a: moscow, b: moscow, wantKm: 0, tolKm: 0.001},
+		{name: "london-newyork", a: london, b: newYork, wantKm: 5570, tolKm: 30},
+		{name: "moscow-newyork", a: moscow, b: newYork, wantKm: 7520, tolKm: 40},
+		{name: "sydney-london", a: sydney, b: london, wantKm: 16990, tolKm: 80},
+		{name: "one degree longitude at equator", a: equator0, b: LatLon{Lat: 0, Lon: 1}, wantKm: 111.2, tolKm: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b)
+			if math.Abs(got-tt.wantKm) > tt.tolKm {
+				t.Errorf("Haversine = %.1f km, want %.1f +/- %.1f", got, tt.wantKm, tt.tolKm)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	if d1, d2 := Haversine(moscow, sydney), Haversine(sydney, moscow); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestLatLonValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    LatLon
+		want bool
+	}{
+		{name: "origin", p: LatLon{}, want: true},
+		{name: "poles", p: LatLon{Lat: 90, Lon: 180}, want: true},
+		{name: "bad lat", p: LatLon{Lat: 91}, want: false},
+		{name: "bad lon", p: LatLon{Lon: -181}, want: false},
+		{name: "nan", p: LatLon{Lat: math.NaN()}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCenterOfSinglePoint(t *testing.T) {
+	c, ok := Center([]LatLon{moscow})
+	if !ok {
+		t.Fatal("Center of one point reported not ok")
+	}
+	if Haversine(c, moscow) > 0.001 {
+		t.Errorf("Center of single point = %v, want %v", c, moscow)
+	}
+}
+
+func TestCenterEmpty(t *testing.T) {
+	if _, ok := Center(nil); ok {
+		t.Error("Center(nil) reported ok")
+	}
+}
+
+func TestCenterOfSymmetricPair(t *testing.T) {
+	a := LatLon{Lat: 0, Lon: -10}
+	b := LatLon{Lat: 0, Lon: 10}
+	c, ok := Center([]LatLon{a, b})
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if math.Abs(c.Lat) > 1e-6 || math.Abs(c.Lon) > 1e-6 {
+		t.Errorf("Center = %v, want equator origin", c)
+	}
+}
+
+func TestCenterAntipodalFallback(t *testing.T) {
+	a := LatLon{Lat: 0, Lon: 0}
+	b := LatLon{Lat: 0, Lon: 180}
+	c, ok := Center([]LatLon{a, b})
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if !c.Valid() {
+		t.Errorf("antipodal center invalid: %v", c)
+	}
+}
+
+func TestSignedDistanceConvention(t *testing.T) {
+	center := LatLon{Lat: 50, Lon: 10}
+	tests := []struct {
+		name     string
+		p        LatLon
+		wantSign float64
+	}{
+		{name: "east is positive", p: LatLon{Lat: 50, Lon: 20}, wantSign: 1},
+		{name: "west is negative", p: LatLon{Lat: 50, Lon: 0}, wantSign: -1},
+		{name: "due north is positive", p: LatLon{Lat: 60, Lon: 10}, wantSign: 1},
+		{name: "due south is negative", p: LatLon{Lat: 40, Lon: 10}, wantSign: -1},
+		{name: "same point is non-negative", p: center, wantSign: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SignedDistance(center, tt.p)
+			if tt.p == center {
+				if got != 0 {
+					t.Errorf("SignedDistance to self = %v, want 0", got)
+				}
+				return
+			}
+			if math.Signbit(got) != (tt.wantSign < 0) {
+				t.Errorf("SignedDistance = %v, want sign %v", got, tt.wantSign)
+			}
+			if math.Abs(math.Abs(got)-Haversine(center, tt.p)) > 1e-9 {
+				t.Errorf("|SignedDistance| = %v != Haversine %v", math.Abs(got), Haversine(center, tt.p))
+			}
+		})
+	}
+}
+
+func TestSignedDistanceAntimeridian(t *testing.T) {
+	// A point just across the antimeridian to the east must be positive.
+	center := LatLon{Lat: 0, Lon: 175}
+	east := LatLon{Lat: 0, Lon: -175} // 10 degrees east the short way
+	if got := SignedDistance(center, east); got <= 0 {
+		t.Errorf("SignedDistance across antimeridian = %v, want positive", got)
+	}
+}
+
+func TestDispersionSymmetricIsZero(t *testing.T) {
+	pts := []LatLon{
+		{Lat: 0, Lon: -10},
+		{Lat: 0, Lon: 10},
+	}
+	d, ok := Dispersion(pts)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if d > 1 { // within a km of perfect symmetry
+		t.Errorf("Dispersion of symmetric pair = %v km, want about 0", d)
+	}
+}
+
+func TestDispersionAsymmetric(t *testing.T) {
+	// A meridian arrangement with a far-north outlier: the spherical
+	// centroid does not balance great-circle distances, so the signed sum
+	// is clearly nonzero. (Collinear symmetric layouts balance to ~0 —
+	// which is why the paper observed so many zero dispersions.)
+	pts := []LatLon{
+		{Lat: 0, Lon: 0},
+		{Lat: 10, Lon: 0},
+		{Lat: 80, Lon: 0},
+	}
+	d, ok := Dispersion(pts)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if d < 100 {
+		t.Errorf("Dispersion of asymmetric layout = %v km, want large", d)
+	}
+}
+
+func TestDispersionEmpty(t *testing.T) {
+	if _, ok := Dispersion(nil); ok {
+		t.Error("Dispersion(nil) reported ok")
+	}
+	if _, ok := MeanDistanceToCenter(nil); ok {
+		t.Error("MeanDistanceToCenter(nil) reported ok")
+	}
+}
+
+func TestMeanDistanceToCenter(t *testing.T) {
+	pts := []LatLon{
+		{Lat: 0, Lon: -1},
+		{Lat: 0, Lon: 1},
+	}
+	m, ok := MeanDistanceToCenter(pts)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	want := Haversine(LatLon{}, LatLon{Lat: 0, Lon: 1})
+	if math.Abs(m-want) > 0.5 {
+		t.Errorf("MeanDistanceToCenter = %v, want about %v", m, want)
+	}
+}
+
+// Property: haversine is a metric-ish function — non-negative, symmetric,
+// zero on identical points, bounded by half the Earth's circumference.
+func TestHaversineProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		b := LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		d := Haversine(a, b)
+		if d < 0 || d > math.Pi*EarthRadiusKm+1 {
+			return false
+		}
+		if math.Abs(d-Haversine(b, a)) > 1e-9 {
+			return false
+		}
+		return Haversine(a, a) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |SignedDistance| always equals Haversine distance.
+func TestSignedDistanceMagnitudeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		p := LatLon{Lat: rng.Float64()*180 - 90, Lon: rng.Float64()*360 - 180}
+		return math.Abs(math.Abs(SignedDistance(c, p))-Haversine(c, p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

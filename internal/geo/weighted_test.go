@@ -1,0 +1,112 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedCenterEqualWeightsMatchesCenter(t *testing.T) {
+	a := LatLon{Lat: 40, Lon: -70}
+	b := LatLon{Lat: 50, Lon: 10}
+	wc, ok := WeightedCenter(a, b, 1, 1)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	c, ok := Center([]LatLon{a, b})
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if Haversine(wc, c) > 0.001 {
+		t.Errorf("WeightedCenter = %v, Center = %v, want identical", wc, c)
+	}
+}
+
+func TestWeightedCenterPullsTowardHeavier(t *testing.T) {
+	a := LatLon{Lat: 0, Lon: 0}
+	b := LatLon{Lat: 0, Lon: 40}
+	wc, ok := WeightedCenter(a, b, 9, 1)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if da, db := Haversine(wc, a), Haversine(wc, b); da >= db {
+		t.Errorf("center %v not closer to the heavy point: %v vs %v", wc, da, db)
+	}
+}
+
+func TestWeightedCenterDegenerateWeights(t *testing.T) {
+	a := LatLon{Lat: 10, Lon: 10}
+	b := LatLon{Lat: 20, Lon: 20}
+	if _, ok := WeightedCenter(a, b, 0, 0); ok {
+		t.Error("zero total weight reported ok")
+	}
+	wc, ok := WeightedCenter(a, b, 5, 0)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if Haversine(wc, a) > 0.001 {
+		t.Errorf("all-weight-on-a center = %v, want %v", wc, a)
+	}
+}
+
+func TestWeightedCenterAntipodal(t *testing.T) {
+	a := LatLon{Lat: 0, Lon: 0}
+	b := LatLon{Lat: 0, Lon: 180}
+	wc, ok := WeightedCenter(a, b, 1, 1)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	if !wc.Valid() {
+		t.Errorf("antipodal weighted center invalid: %v", wc)
+	}
+}
+
+// Property: WeightedCenter with integer weights equals Center over the
+// equivalent multiset of points.
+func TestWeightedCenterMatchesMultisetCenter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*340 - 170}
+		b := LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*340 - 170}
+		wa := 1 + rng.Intn(20)
+		wb := 1 + rng.Intn(20)
+		wc, ok1 := WeightedCenter(a, b, float64(wa), float64(wb))
+		var pts []LatLon
+		for i := 0; i < wa; i++ {
+			pts = append(pts, a)
+		}
+		for i := 0; i < wb; i++ {
+			pts = append(pts, b)
+		}
+		c, ok2 := Center(pts)
+		if ok1 != ok2 {
+			return false
+		}
+		return Haversine(wc, c) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the weighted center lies on the shorter great-circle arc, so
+// its distance to each endpoint never exceeds their separation.
+func TestWeightedCenterBetweenness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*340 - 170}
+		b := LatLon{Lat: rng.Float64()*160 - 80, Lon: rng.Float64()*340 - 170}
+		w := rng.Float64()*9 + 0.5
+		wc, ok := WeightedCenter(a, b, w, 10-w)
+		if !ok {
+			return false
+		}
+		sep := Haversine(a, b)
+		return Haversine(wc, a) <= sep+1e-6 && Haversine(wc, b) <= sep+1e-6 &&
+			!math.IsNaN(wc.Lat) && !math.IsNaN(wc.Lon)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

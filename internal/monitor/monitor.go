@@ -1,0 +1,239 @@
+// Package monitor reproduces the collection semantics of the paper's
+// botnet-monitoring service (§II-B): hourly reports per family whose bot
+// sets are cumulative over the trailing 24 hours, plus the weekly
+// source-country aggregation behind the shift-pattern analysis (Fig 8).
+package monitor
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+// HourlyReport is one snapshot of one family: how much bot activity the
+// monitoring service would have logged during the trailing 24 hours.
+type HourlyReport struct {
+	Family dataset.Family
+	Time   time.Time
+	// ActiveAttacks is the number of attacks overlapping the hour.
+	ActiveAttacks int
+	// BotRefs counts bot participations in the trailing 24 h window
+	// (a bot attacking twice counts twice, as in raw traffic logs).
+	BotRefs int
+	// CountryRefs breaks BotRefs down by source country.
+	CountryRefs map[string]int
+}
+
+// Collector derives monitoring reports from a workload store.
+type Collector struct {
+	store *dataset.Store
+	// Lookback is the cumulative window per report; the paper's service
+	// used 24 hours.
+	Lookback time.Duration
+	// Step is the report cadence; the paper's service reported hourly.
+	Step time.Duration
+}
+
+// NewCollector builds a collector with the paper's 24-hour/1-hour cadence.
+func NewCollector(store *dataset.Store) *Collector {
+	return &Collector{store: store, Lookback: 24 * time.Hour, Step: time.Hour}
+}
+
+// HourlyReports replays the window and emits one report per step for the
+// family. It returns an error for an empty workload or non-positive cadence.
+func (c *Collector) HourlyReports(family dataset.Family) ([]HourlyReport, error) {
+	if c.Step <= 0 || c.Lookback <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive step or lookback")
+	}
+	first, last, ok := c.store.TimeBounds()
+	if !ok {
+		return nil, fmt.Errorf("monitor: empty workload")
+	}
+	attacks := c.store.ByFamily(family)
+	if len(attacks) == 0 {
+		return nil, fmt.Errorf("monitor: family %s has no attacks", family)
+	}
+
+	// Sweep: every attack contributes its bot references to reports in
+	// [Start, End+Lookback). Build per-step deltas, then prefix-sum.
+	steps := int(last.Add(c.Lookback).Sub(first)/c.Step) + 1
+	addDeltas := make([]delta, steps+1)
+	subDeltas := make([]delta, steps+1)
+	activeAdd := make([]int, steps+1)
+	activeSub := make([]int, steps+1)
+
+	stepIdx := func(t time.Time) int {
+		i := int(t.Sub(first) / c.Step)
+		if i < 0 {
+			i = 0
+		}
+		if i > steps {
+			i = steps
+		}
+		return i
+	}
+
+	for _, a := range attacks {
+		countries := make(map[string]int)
+		refs := 0
+		for _, ip := range a.BotIPs {
+			refs++
+			if b, ok := c.store.Bot(ip); ok {
+				countries[b.CountryCode]++
+			}
+		}
+		from := stepIdx(a.Start)
+		to := stepIdx(a.End.Add(c.Lookback))
+		mergeDelta(&addDeltas[from], refs, countries)
+		mergeDelta(&subDeltas[to], refs, countries)
+		activeAdd[from]++
+		activeSub[stepIdx(a.End)]++
+	}
+
+	reports := make([]HourlyReport, 0, steps)
+	curRefs := 0
+	curActive := 0
+	curCountries := make(map[string]int)
+	for i := 0; i < steps; i++ {
+		applyDelta(curCountries, &curRefs, addDeltas[i], 1)
+		applyDelta(curCountries, &curRefs, subDeltas[i], -1)
+		curActive += activeAdd[i] - activeSub[i]
+		snapshot := make(map[string]int, len(curCountries))
+		for cc, n := range curCountries {
+			if n > 0 {
+				snapshot[cc] = n
+			}
+		}
+		reports = append(reports, HourlyReport{
+			Family:        family,
+			Time:          first.Add(time.Duration(i) * c.Step),
+			ActiveAttacks: curActive,
+			BotRefs:       curRefs,
+			CountryRefs:   snapshot,
+		})
+	}
+	return reports, nil
+}
+
+// delta is one sweep-line increment of the hourly-report accumulator.
+type delta struct {
+	refs    int
+	country map[string]int
+}
+
+func mergeDelta(d *delta, refs int, countries map[string]int) {
+	d.refs += refs
+	if d.country == nil {
+		d.country = make(map[string]int, len(countries))
+	}
+	for cc, n := range countries {
+		d.country[cc] += n
+	}
+}
+
+func applyDelta(cur map[string]int, curRefs *int, d delta, sign int) {
+	*curRefs += sign * d.refs
+	for cc, n := range d.country {
+		cur[cc] += sign * n
+	}
+}
+
+// WeekStats aggregates one family's attack sources over one week: the
+// unique bots seen per country, and which countries are new relative to
+// every earlier week. This is the raw material of Fig 8.
+type WeekStats struct {
+	Week int // 0-based week index from the first attack
+	// BotsByCountry counts unique bots per source country.
+	BotsByCountry map[string]int
+	// NewCountries lists countries never seen in any earlier week.
+	NewCountries []string
+}
+
+// ExistingShift returns the number of bot observations in countries
+// already known from earlier weeks.
+func (w WeekStats) ExistingShift() int {
+	newSet := make(map[string]bool, len(w.NewCountries))
+	for _, cc := range w.NewCountries {
+		newSet[cc] = true
+	}
+	n := 0
+	for cc, c := range w.BotsByCountry {
+		if !newSet[cc] {
+			n += c
+		}
+	}
+	return n
+}
+
+// NewShift returns the number of bot observations in newly seen countries.
+func (w WeekStats) NewShift() int {
+	newSet := make(map[string]bool, len(w.NewCountries))
+	for _, cc := range w.NewCountries {
+		newSet[cc] = true
+	}
+	n := 0
+	for cc, c := range w.BotsByCountry {
+		if newSet[cc] {
+			n += c
+		}
+	}
+	return n
+}
+
+// WeeklySources computes the week-by-week source aggregation for a family.
+// An error is returned when the family has no attacks.
+func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
+	attacks := c.store.ByFamily(family)
+	if len(attacks) == 0 {
+		return nil, fmt.Errorf("monitor: family %s has no attacks", family)
+	}
+	first, _, _ := c.store.TimeBounds()
+	weekOf := func(t time.Time) int {
+		return int(t.Sub(first).Hours() / (24 * 7))
+	}
+	perWeek := make(map[int]map[netip.Addr]string) // week -> bot -> country
+	for _, a := range attacks {
+		w := weekOf(a.Start)
+		if perWeek[w] == nil {
+			perWeek[w] = make(map[netip.Addr]string)
+		}
+		for _, ip := range a.BotIPs {
+			cc := ""
+			if b, ok := c.store.Bot(ip); ok {
+				cc = b.CountryCode
+			}
+			perWeek[w][ip] = cc
+		}
+	}
+	weeks := make([]int, 0, len(perWeek))
+	for w := range perWeek {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+
+	seen := make(map[string]bool)
+	out := make([]WeekStats, 0, len(weeks))
+	for _, w := range weeks {
+		byCountry := make(map[string]int)
+		for _, cc := range perWeek[w] {
+			if cc != "" {
+				byCountry[cc]++
+			}
+		}
+		var fresh []string
+		for cc := range byCountry {
+			if !seen[cc] {
+				fresh = append(fresh, cc)
+			}
+		}
+		sort.Strings(fresh)
+		for _, cc := range fresh {
+			seen[cc] = true
+		}
+		out = append(out, WeekStats{Week: w, BotsByCountry: byCountry, NewCountries: fresh})
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package monitor
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+var t0 = time.Date(2012, 8, 29, 0, 0, 0, 0, time.UTC)
+
+// buildStore creates a small workload: two attacks by one family, with
+// bots in two countries.
+func buildStore(t *testing.T) *dataset.Store {
+	t.Helper()
+	bots := []*dataset.Bot{
+		{IP: netip.MustParseAddr("9.0.0.1"), CountryCode: "RU", City: "Moscow", Org: "o1", ASN: 1},
+		{IP: netip.MustParseAddr("9.0.0.2"), CountryCode: "RU", City: "Moscow", Org: "o1", ASN: 1},
+		{IP: netip.MustParseAddr("9.0.0.3"), CountryCode: "UA", City: "Kyiv", Org: "o2", ASN: 2},
+	}
+	attacks := []*dataset.Attack{
+		{
+			ID: 1, BotnetID: 1, Family: dataset.Dirtjumper, Category: dataset.CategoryHTTP,
+			TargetIP: netip.MustParseAddr("5.5.5.5"),
+			Start:    t0, End: t0.Add(2 * time.Hour),
+			BotIPs:        []netip.Addr{bots[0].IP, bots[1].IP},
+			TargetCountry: "US", TargetCity: "x", TargetOrg: "y", TargetASN: 3,
+		},
+		{
+			ID: 2, BotnetID: 1, Family: dataset.Dirtjumper, Category: dataset.CategoryHTTP,
+			TargetIP: netip.MustParseAddr("5.5.5.5"),
+			Start:    t0.Add(10 * 24 * time.Hour), End: t0.Add(10*24*time.Hour + time.Hour),
+			BotIPs:        []netip.Addr{bots[0].IP, bots[2].IP},
+			TargetCountry: "US", TargetCity: "x", TargetOrg: "y", TargetASN: 3,
+		},
+	}
+	s, err := dataset.NewStore(attacks, nil, bots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHourlyReportsWindowing(t *testing.T) {
+	s := buildStore(t)
+	c := NewCollector(s)
+	reports, err := c.HourlyReports(dataset.Dirtjumper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// At hour 0 the first attack (2 bots) is active.
+	r0 := reports[0]
+	if r0.BotRefs != 2 {
+		t.Errorf("hour 0 BotRefs = %d, want 2", r0.BotRefs)
+	}
+	if r0.ActiveAttacks != 1 {
+		t.Errorf("hour 0 ActiveAttacks = %d, want 1", r0.ActiveAttacks)
+	}
+	if r0.CountryRefs["RU"] != 2 {
+		t.Errorf("hour 0 RU refs = %d, want 2", r0.CountryRefs["RU"])
+	}
+
+	// At hour 10 (attack over, still inside 24h lookback) refs persist
+	// but no attack is active.
+	r10 := reports[10]
+	if r10.BotRefs != 2 {
+		t.Errorf("hour 10 BotRefs = %d, want 2 (24h cumulative)", r10.BotRefs)
+	}
+	if r10.ActiveAttacks != 0 {
+		t.Errorf("hour 10 ActiveAttacks = %d, want 0", r10.ActiveAttacks)
+	}
+
+	// At hour 30 the lookback has expired.
+	r30 := reports[30]
+	if r30.BotRefs != 0 {
+		t.Errorf("hour 30 BotRefs = %d, want 0", r30.BotRefs)
+	}
+	if len(r30.CountryRefs) != 0 {
+		t.Errorf("hour 30 CountryRefs = %v, want empty", r30.CountryRefs)
+	}
+
+	// Day 10: the second attack brings one RU and one UA bot.
+	r240 := reports[240]
+	if r240.BotRefs != 2 || r240.CountryRefs["RU"] != 1 || r240.CountryRefs["UA"] != 1 {
+		t.Errorf("hour 240 = %+v, want 1 RU + 1 UA ref", r240)
+	}
+}
+
+func TestHourlyReportsErrors(t *testing.T) {
+	s := buildStore(t)
+	c := NewCollector(s)
+	if _, err := c.HourlyReports(dataset.Optima); err == nil {
+		t.Error("family without attacks succeeded")
+	}
+	c.Step = 0
+	if _, err := c.HourlyReports(dataset.Dirtjumper); err == nil {
+		t.Error("zero step succeeded")
+	}
+
+	empty, err := dataset.NewStore(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCollector(empty).HourlyReports(dataset.Dirtjumper); err == nil {
+		t.Error("empty store succeeded")
+	}
+}
+
+func TestWeeklySources(t *testing.T) {
+	s := buildStore(t)
+	c := NewCollector(s)
+	weeks, err := c.WeeklySources(dataset.Dirtjumper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weeks) != 2 {
+		t.Fatalf("weeks = %d, want 2", len(weeks))
+	}
+	w0, w1 := weeks[0], weeks[1]
+	if w0.Week != 0 || w1.Week != 1 {
+		t.Errorf("week indices = %d, %d, want 0, 1", w0.Week, w1.Week)
+	}
+	// Week 0: 2 unique RU bots, RU is new.
+	if w0.BotsByCountry["RU"] != 2 {
+		t.Errorf("week 0 RU bots = %d, want 2", w0.BotsByCountry["RU"])
+	}
+	if len(w0.NewCountries) != 1 || w0.NewCountries[0] != "RU" {
+		t.Errorf("week 0 new countries = %v, want [RU]", w0.NewCountries)
+	}
+	if w0.NewShift() != 2 || w0.ExistingShift() != 0 {
+		t.Errorf("week 0 shifts = new %d / existing %d, want 2/0", w0.NewShift(), w0.ExistingShift())
+	}
+	// Week 1: RU existing (1 bot), UA new (1 bot).
+	if w1.ExistingShift() != 1 || w1.NewShift() != 1 {
+		t.Errorf("week 1 shifts = new %d / existing %d, want 1/1", w1.NewShift(), w1.ExistingShift())
+	}
+	if len(w1.NewCountries) != 1 || w1.NewCountries[0] != "UA" {
+		t.Errorf("week 1 new countries = %v, want [UA]", w1.NewCountries)
+	}
+}
+
+func TestWeeklySourcesUnknownFamily(t *testing.T) {
+	s := buildStore(t)
+	if _, err := NewCollector(s).WeeklySources(dataset.Pandora); err == nil {
+		t.Error("family without attacks succeeded")
+	}
+}
+
+func TestWeeklySourcesDedupWithinWeek(t *testing.T) {
+	// A bot attacking twice in one week counts once.
+	bot := &dataset.Bot{IP: netip.MustParseAddr("9.0.0.1"), CountryCode: "RU", City: "m", Org: "o", ASN: 1}
+	mk := func(id dataset.DDoSID, offset time.Duration) *dataset.Attack {
+		return &dataset.Attack{
+			ID: id, BotnetID: 1, Family: dataset.Pandora, Category: dataset.CategoryHTTP,
+			TargetIP: netip.MustParseAddr("5.5.5.5"),
+			Start:    t0.Add(offset), End: t0.Add(offset + time.Hour),
+			BotIPs:        []netip.Addr{bot.IP},
+			TargetCountry: "US", TargetCity: "x", TargetOrg: "y", TargetASN: 3,
+		}
+	}
+	s, err := dataset.NewStore([]*dataset.Attack{mk(1, 0), mk(2, 3*time.Hour)}, nil, []*dataset.Bot{bot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weeks, err := NewCollector(s).WeeklySources(dataset.Pandora)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weeks[0].BotsByCountry["RU"] != 1 {
+		t.Errorf("RU bots = %d, want 1 (dedup)", weeks[0].BotsByCountry["RU"])
+	}
+}

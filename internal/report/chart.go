@@ -1,0 +1,295 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"botscope/internal/stats"
+)
+
+// BarChart renders labeled horizontal bars scaled to maxWidth characters —
+// the text analogue of Figs 1, 4, and 8.
+func BarChart(title string, labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(labels) == 0 || len(labels) != len(values) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	labelW := 0
+	maxV := 0.0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	for i, l := range labels {
+		n := 0
+		if maxV > 0 {
+			n = int(values[i] / maxV * float64(maxWidth))
+		}
+		if values[i] > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labelW, l, strings.Repeat("#", n), FormatFloat(values[i], 0))
+	}
+	return b.String()
+}
+
+// CDFChart renders an ECDF as a fixed-size character grid with a
+// log-scaled x axis — the text analogue of the paper's CDF figures
+// (Figs 3, 5, 7, 9, 17).
+func CDFChart(title string, cdf *stats.ECDF, width, height int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	pts := cdf.LogPoints(width)
+	if len(pts) == 0 {
+		// Fall back to linear sampling for all-zero or tiny samples.
+		pts = cdf.Points(width)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, p := range pts {
+		if c >= width {
+			break
+		}
+		row := int((1 - p.P) * float64(height-1))
+		grid[row][c] = '*'
+	}
+	for r, line := range grid {
+		frac := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s\n", frac, string(line))
+	}
+	b.WriteString("     +" + strings.Repeat("-", width) + "\n")
+	lo, hi := pts[0].X, pts[len(pts)-1].X
+	fmt.Fprintf(&b, "      x: %s .. %s (log scale)\n", FormatFloat(lo, 1), FormatFloat(hi, 1))
+	return b.String()
+}
+
+// MultiCDFLandmarks prints one row of CDF landmarks per series: the
+// quantiles and threshold masses the paper quotes in its prose.
+func MultiCDFLandmarks(title string, names []string, cdfs []*stats.ECDF, thresholds []float64) string {
+	headers := []string{"series", "n", "p50", "p80", "p95"}
+	for _, th := range thresholds {
+		headers = append(headers, fmt.Sprintf("P(x<=%s)", FormatFloat(th, 0)))
+	}
+	t := NewTable(title, headers...)
+	for i := 1; i < len(headers); i++ {
+		t.SetAlign(i, AlignRight)
+	}
+	for i, name := range names {
+		if i >= len(cdfs) {
+			break
+		}
+		cdf := cdfs[i]
+		row := []string{
+			name,
+			FormatInt(cdf.N()),
+			FormatFloat(cdf.Quantile(0.5), 1),
+			FormatFloat(cdf.Quantile(0.8), 1),
+			FormatFloat(cdf.Quantile(0.95), 1),
+		}
+		for _, th := range thresholds {
+			row = append(row, fmt.Sprintf("%.3f", cdf.Eval(th)))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// HistogramChart renders a histogram as vertical counts per bin — the
+// text analogue of Figs 10-11.
+func HistogramChart(title string, h *stats.Histogram, maxWidth int) string {
+	labels := make([]string, 0, h.Bins())
+	values := make([]float64, 0, h.Bins())
+	for i := 0; i < h.Bins(); i++ {
+		lo, hi := h.BinEdges(i)
+		labels = append(labels, fmt.Sprintf("[%s, %s)", FormatFloat(lo, 0), FormatFloat(hi, 0)))
+		values = append(values, float64(h.Count(i)))
+	}
+	out := BarChart(title, labels, values, maxWidth)
+	if h.Underflow() > 0 || h.Overflow() > 0 {
+		out += fmt.Sprintf("(underflow %d, overflow %d)\n", h.Underflow(), h.Overflow())
+	}
+	return out
+}
+
+// Sparkline compresses a series into a single line of block characters,
+// used for the Fig 2/6/12/13 time-series panels.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+// SeriesPanel renders a long series as several sparkline rows of at most
+// width points each (down-sampled by bucket means when needed).
+func SeriesPanel(title string, values []float64, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(values) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	compact := Downsample(values, width)
+	b.WriteString(Sparkline(compact))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "min %s  mean %s  max %s  (n=%s)\n",
+		FormatFloat(stats.Min(values), 1),
+		FormatFloat(stats.Mean(values), 1),
+		FormatFloat(stats.Max(values), 1),
+		FormatInt(len(values)))
+	return b.String()
+}
+
+// Downsample reduces values to at most n points by bucket means.
+func Downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out[i] = stats.Mean(values[lo:hi])
+	}
+	return out
+}
+
+// WorldMap renders (lat, lon, weight) marks on a coarse ASCII world grid —
+// the text analogue of the Fig 14 hotspot map. Marks are sized by weight:
+// '.' for light, 'o' for medium, 'O' for heavy.
+func WorldMap(title string, lats, lons, weights []float64, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	maxW := 0.0
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for i := range lats {
+		if i >= len(lons) {
+			break
+		}
+		col := int((lons[i] + 180) / 360 * float64(width-1))
+		row := int((90 - lats[i]) / 180 * float64(height-1))
+		if col < 0 || col >= width || row < 0 || row >= height {
+			continue
+		}
+		mark := byte('.')
+		if maxW > 0 && i < len(weights) {
+			switch frac := weights[i] / maxW; {
+			case frac > 0.5:
+				mark = 'O'
+			case frac > 0.1:
+				mark = 'o'
+			}
+		}
+		// Heavier marks win cell conflicts.
+		if rank(mark) > rank(grid[row][col]) {
+			grid[row][col] = mark
+		}
+	}
+	for _, line := range grid {
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func rank(c byte) int {
+	switch c {
+	case 'O':
+		return 3
+	case 'o':
+		return 2
+	case '.':
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PercentString formats a fraction as "12.3%".
+func PercentString(frac float64) string {
+	if math.IsNaN(frac) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", frac*100)
+}

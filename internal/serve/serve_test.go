@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"botscope/internal/dataset"
+	"botscope/internal/synth"
+)
+
+var (
+	srvOnce  sync.Once
+	srvValue *Server
+	srvErr   error
+)
+
+// testServer shares one small workload across all handler tests.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		var store *dataset.Store
+		store, srvErr = synth.GenerateStore(synth.Config{Seed: 6, Scale: 0.03})
+		if srvErr == nil {
+			srvValue = New(store, 0.03)
+		}
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srvValue
+}
+
+// get performs a request and decodes the JSON body into out.
+func get(t *testing.T, s *Server, path string, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s = %d, want %d (body: %.200s)", path, rec.Code, wantStatus, rec.Body.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("GET %s returned invalid JSON: %v", path, err)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	s := testServer(t)
+	var out struct {
+		Attacks      int `json:"Attacks"`
+		TrafficTypes int `json:"TrafficTypes"`
+	}
+	get(t, s, "/api/summary", http.StatusOK, &out)
+	if out.Attacks == 0 || out.TrafficTypes != 7 {
+		t.Errorf("summary = %+v", out)
+	}
+}
+
+func TestProtocolsEndpoint(t *testing.T) {
+	s := testServer(t)
+	var out []struct {
+		Protocol string `json:"protocol"`
+		Count    int    `json:"count"`
+	}
+	get(t, s, "/api/protocols", http.StatusOK, &out)
+	if len(out) == 0 || out[0].Protocol != "HTTP" {
+		t.Errorf("protocols = %+v, want HTTP first", out)
+	}
+}
+
+func TestDailyEndpoint(t *testing.T) {
+	s := testServer(t)
+	var out struct {
+		Average float64 `json:"average"`
+		Max     int     `json:"max"`
+		Days    []struct {
+			Day   string `json:"day"`
+			Count int    `json:"count"`
+		} `json:"days"`
+	}
+	get(t, s, "/api/daily", http.StatusOK, &out)
+	if out.Max == 0 || len(out.Days) == 0 {
+		t.Errorf("daily = %+v", out)
+	}
+}
+
+func TestIntervalsEndpoint(t *testing.T) {
+	s := testServer(t)
+	var out struct {
+		SimultaneousFrac float64 `json:"SimultaneousFrac"`
+		N                int     `json:"N"`
+	}
+	get(t, s, "/api/intervals", http.StatusOK, &out)
+	if out.N == 0 {
+		t.Errorf("intervals = %+v", out)
+	}
+	get(t, s, "/api/intervals?family=dirtjumper", http.StatusOK, &out)
+	if out.N == 0 {
+		t.Errorf("family intervals = %+v", out)
+	}
+	get(t, s, "/api/intervals?family=mirai", http.StatusNotFound, nil)
+}
+
+func TestFamilyEndpoints(t *testing.T) {
+	s := testServer(t)
+
+	var fams []struct {
+		Family  string `json:"family"`
+		Attacks int    `json:"attacks"`
+	}
+	get(t, s, "/api/families", http.StatusOK, &fams)
+	if len(fams) != 10 {
+		t.Errorf("families = %d, want 10", len(fams))
+	}
+
+	var disp struct {
+		SymmetricFrac float64 `json:"SymmetricFrac"`
+		N             int     `json:"N"`
+	}
+	get(t, s, "/api/family/pandora/dispersion", http.StatusOK, &disp)
+	if disp.N == 0 {
+		t.Errorf("dispersion = %+v", disp)
+	}
+	get(t, s, "/api/family/mirai/dispersion", http.StatusNotFound, nil)
+
+	var pred struct {
+		Family     string    `json:"family"`
+		Similarity float64   `json:"similarity"`
+		TruthTail  []float64 `json:"truth_tail"`
+	}
+	get(t, s, "/api/family/dirtjumper/predict", http.StatusOK, &pred)
+	if pred.Family != "dirtjumper" || len(pred.TruthTail) == 0 {
+		t.Errorf("predict = %+v", pred)
+	}
+	if len(pred.TruthTail) > 50 {
+		t.Errorf("truth tail = %d values, want trimmed to 50", len(pred.TruthTail))
+	}
+	get(t, s, "/api/family/dirtjumper/predict?test_points=oops", http.StatusBadRequest, nil)
+	// Aldibot has too little dispersion data to fit at this scale.
+	get(t, s, "/api/family/aldibot/predict", http.StatusUnprocessableEntity, nil)
+
+	var targets struct {
+		Countries int `json:"Countries"`
+	}
+	get(t, s, "/api/family/darkshell/targets", http.StatusOK, &targets)
+	if targets.Countries == 0 {
+		t.Errorf("targets = %+v", targets)
+	}
+}
+
+func TestCollaborationsAndChainsEndpoints(t *testing.T) {
+	s := testServer(t)
+	var collab struct {
+		TotalIntra int `json:"total_intra"`
+	}
+	get(t, s, "/api/collaborations", http.StatusOK, &collab)
+	if collab.TotalIntra == 0 {
+		t.Errorf("collaborations = %+v", collab)
+	}
+	var chains struct {
+		Chains        int    `json:"chains"`
+		LongestFamily string `json:"longest_family"`
+	}
+	get(t, s, "/api/chains", http.StatusOK, &chains)
+	if chains.Chains == 0 || chains.LongestFamily == "" {
+		t.Errorf("chains = %+v", chains)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	s := testServer(t)
+	var ids []string
+	get(t, s, "/api/experiments", http.StatusOK, &ids)
+	if len(ids) < 25 {
+		t.Errorf("experiment IDs = %d, want the full catalog", len(ids))
+	}
+	var res struct {
+		ID      string `json:"ID"`
+		Text    string `json:"Text"`
+		Metrics []struct {
+			Name     string  `json:"Name"`
+			Measured float64 `json:"Measured"`
+		} `json:"Metrics"`
+	}
+	get(t, s, "/api/experiments/Table%20II", http.StatusOK, &res)
+	if res.ID != "Table II" || res.Text == "" || len(res.Metrics) == 0 {
+		t.Errorf("experiment result = %+v", res)
+	}
+	get(t, s, "/api/experiments/Table%20XL", http.StatusNotFound, nil)
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/summary", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/summary = %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFEval(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3, 10})
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{name: "below all", x: 0, want: 0},
+		{name: "at first", x: 1, want: 0.2},
+		{name: "at tie", x: 2, want: 0.6},
+		{name: "between", x: 5, want: 0.8},
+		{name: "at max", x: 10, want: 1},
+		{name: "above all", x: 100, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := e.Eval(tt.x); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.N() != 0 {
+		t.Errorf("N = %d, want 0", e.N())
+	}
+	if got := e.Eval(1); !math.IsNaN(got) {
+		t.Errorf("Eval on empty = %v, want NaN", got)
+	}
+	if got := e.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty = %v, want NaN", got)
+	}
+	if pts := e.Points(10); pts != nil {
+		t.Errorf("Points on empty = %v, want nil", pts)
+	}
+	if pts := e.LogPoints(10); pts != nil {
+		t.Errorf("LogPoints on empty = %v, want nil", pts)
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDF(xs)
+	xs[0] = 100
+	if got := e.Eval(3); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("ECDF changed after input mutation: Eval(3) = %v, want 1", got)
+	}
+}
+
+func TestECDFQuantileInvertsEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	e := NewECDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.8, 0.95} {
+		x := e.Quantile(q)
+		p := e.Eval(x)
+		if p < q-0.01 {
+			t.Errorf("Eval(Quantile(%v)) = %v, want >= %v", q, p, q)
+		}
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("len(Points) = %d, want 5", len(pts))
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("last point P = %v, want 1", pts[len(pts)-1].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].P <= pts[i-1].P {
+			t.Errorf("points not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestECDFLogPoints(t *testing.T) {
+	// Sample spanning several decades, like attack durations.
+	e := NewECDF([]float64{0, 0, 1, 10, 100, 1000, 10000})
+	pts := e.LogPoints(20)
+	if len(pts) != 20 {
+		t.Fatalf("len(LogPoints) = %d, want 20", len(pts))
+	}
+	if !almostEqual(pts[0].X, 1, 1e-9) {
+		t.Errorf("first log point X = %v, want 1", pts[0].X)
+	}
+	if !almostEqual(pts[len(pts)-1].X, 10000, 1e-6) {
+		t.Errorf("last log point X = %v, want 10000", pts[len(pts)-1].X)
+	}
+	if pts[len(pts)-1].P != 1 {
+		t.Errorf("last log point P = %v, want 1", pts[len(pts)-1].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P {
+			t.Errorf("CDF decreasing at %d: %v -> %v", i, pts[i-1].P, pts[i].P)
+		}
+	}
+}
+
+func TestECDFLogPointsAllNonPositive(t *testing.T) {
+	e := NewECDF([]float64{0, -1, -5})
+	if pts := e.LogPoints(10); pts != nil {
+		t.Errorf("LogPoints of non-positive sample = %v, want nil", pts)
+	}
+}
+
+func TestECDFLogPointsSinglePositiveValue(t *testing.T) {
+	e := NewECDF([]float64{0, 5, 5, 5})
+	pts := e.LogPoints(10)
+	if len(pts) != 1 || pts[0].X != 5 || pts[0].P != 1 {
+		t.Errorf("LogPoints = %v, want single point {5 1}", pts)
+	}
+}
+
+// Property: Eval is a valid CDF — monotone, in [0,1], 0 below min, 1 at max.
+func TestECDFProperty(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 || math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		e := NewECDF(xs)
+		p := e.Eval(probe)
+		if p < 0 || p > 1 {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if probe < sorted[0] && p != 0 {
+			return false
+		}
+		if probe >= sorted[len(sorted)-1] && p != 1 {
+			return false
+		}
+		// Monotone against a nearby probe.
+		return e.Eval(probe+1) >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-bin histogram over a half-open interval [Lo, Hi).
+// Figures 10 and 11 (geolocation-distance histograms) are built on it.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	counts   []int
+	under    int // observations below lo
+	over     int // observations at or above hi
+	total    int
+	logScale bool
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It returns an error if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%g, %g)", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}, nil
+}
+
+// NewLogHistogram creates a histogram whose bins are equal-width in
+// log-space over [lo, hi); lo must be positive. The paper's duration and
+// interval panels use log-scaled axes, which map to log-binned counts.
+func NewLogHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if lo <= 0 {
+		return nil, errors.New("stats: log histogram needs lo > 0")
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram bins must be positive, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram needs hi > lo, got [%g, %g)", lo, hi)
+	}
+	return &Histogram{
+		lo:       math.Log(lo),
+		hi:       math.Log(hi),
+		width:    (math.Log(hi) - math.Log(lo)) / float64(bins),
+		counts:   make([]int, bins),
+		logScale: true,
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	v := x
+	if h.logScale {
+		if x <= 0 {
+			h.under++
+			return
+		}
+		v = math.Log(x)
+	}
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.over++
+	default:
+		idx := int((v - h.lo) / h.width)
+		if idx >= len(h.counts) { // float round-off at the top edge
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Counts returns a copy of all bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Underflow returns the number of observations below the range.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the number of observations at or above the range.
+func (h *Histogram) Overflow() int { return h.over }
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinEdges returns the lower and upper edge of bin i in data space.
+func (h *Histogram) BinEdges(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	hi = lo + h.width
+	if h.logScale {
+		return math.Exp(lo), math.Exp(hi)
+	}
+	return lo, hi
+}
+
+// BinCenter returns the midpoint of bin i in data space (geometric mean for
+// log-scaled histograms).
+func (h *Histogram) BinCenter(i int) float64 {
+	lo, hi := h.BinEdges(i)
+	if h.logScale {
+		return math.Sqrt(lo * hi)
+	}
+	return (lo + hi) / 2
+}
+
+// MaxCount returns the largest bin count (0 for an empty histogram).
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ModeBin returns the index of the fullest bin, or -1 if all bins are empty.
+func (h *Histogram) ModeBin() int {
+	best, bestCount := -1, 0
+	for i, c := range h.counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}

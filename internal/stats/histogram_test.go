@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		lo, hi float64
+		bins   int
+	}{
+		{name: "zero bins", lo: 0, hi: 10, bins: 0},
+		{name: "negative bins", lo: 0, hi: 10, bins: -3},
+		{name: "inverted range", lo: 10, hi: 0, bins: 5},
+		{name: "empty range", lo: 5, hi: 5, bins: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewHistogram(tt.lo, tt.hi, tt.bins); err == nil {
+				t.Errorf("NewHistogram(%v, %v, %d) succeeded, want error", tt.lo, tt.hi, tt.bins)
+			}
+		})
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.99, -1, 10, 11})
+	if got := h.Count(0); got != 2 { // 0, 1.9
+		t.Errorf("bin 0 = %d, want 2", got)
+	}
+	if got := h.Count(1); got != 1 { // 2
+		t.Errorf("bin 1 = %d, want 1", got)
+	}
+	if got := h.Count(2); got != 1 { // 5
+		t.Errorf("bin 2 = %d, want 1", got)
+	}
+	if got := h.Count(4); got != 1 { // 9.99
+		t.Errorf("bin 4 = %d, want 1", got)
+	}
+	if got := h.Underflow(); got != 1 { // -1
+		t.Errorf("underflow = %d, want 1", got)
+	}
+	if got := h.Overflow(); got != 2 { // 10, 11
+		t.Errorf("overflow = %d, want 2", got)
+	}
+	if got := h.Total(); got != 8 {
+		t.Errorf("total = %d, want 8", got)
+	}
+}
+
+func TestHistogramBinEdgesAndCenter(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := h.BinEdges(3)
+	if lo != 30 || hi != 40 {
+		t.Errorf("BinEdges(3) = [%v, %v), want [30, 40)", lo, hi)
+	}
+	if c := h.BinCenter(3); c != 35 {
+		t.Errorf("BinCenter(3) = %v, want 35", c)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h, err := NewLogHistogram(1, 10000, 4) // decade bins
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{2, 5, 20, 200, 2000, 0, -3})
+	if got := h.Count(0); got != 2 { // [1,10): 2, 5
+		t.Errorf("bin 0 = %d, want 2", got)
+	}
+	if got := h.Count(1); got != 1 { // [10,100): 20
+		t.Errorf("bin 1 = %d, want 1", got)
+	}
+	if got := h.Count(2); got != 1 { // [100,1000): 200
+		t.Errorf("bin 2 = %d, want 1", got)
+	}
+	if got := h.Count(3); got != 1 { // [1000,10000): 2000
+		t.Errorf("bin 3 = %d, want 1", got)
+	}
+	if got := h.Underflow(); got != 2 { // 0, -3 cannot be logged
+		t.Errorf("underflow = %d, want 2", got)
+	}
+	lo, hi := h.BinEdges(1)
+	if !almostEqual(lo, 10, 1e-9) || !almostEqual(hi, 100, 1e-9) {
+		t.Errorf("log BinEdges(1) = [%v, %v), want [10, 100)", lo, hi)
+	}
+	if c := h.BinCenter(1); !almostEqual(c, math.Sqrt(1000), 1e-9) {
+		t.Errorf("log BinCenter(1) = %v, want %v", c, math.Sqrt(1000))
+	}
+}
+
+func TestLogHistogramValidation(t *testing.T) {
+	if _, err := NewLogHistogram(0, 100, 5); err == nil {
+		t.Error("NewLogHistogram with lo=0 succeeded, want error")
+	}
+	if _, err := NewLogHistogram(-1, 100, 5); err == nil {
+		t.Error("NewLogHistogram with lo<0 succeeded, want error")
+	}
+	if _, err := NewLogHistogram(1, 100, 0); err == nil {
+		t.Error("NewLogHistogram with 0 bins succeeded, want error")
+	}
+}
+
+func TestHistogramModeAndMax(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.ModeBin(); got != -1 {
+		t.Errorf("ModeBin of empty = %d, want -1", got)
+	}
+	h.AddAll([]float64{1, 3, 3, 3, 7})
+	if got := h.ModeBin(); got != 3 {
+		t.Errorf("ModeBin = %d, want 3", got)
+	}
+	if got := h.MaxCount(); got != 3 {
+		t.Errorf("MaxCount = %d, want 3", got)
+	}
+}
+
+func TestHistogramCountsCopy(t *testing.T) {
+	h, err := NewHistogram(0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1)
+	counts := h.Counts()
+	counts[0] = 99
+	if h.Count(0) != 1 {
+		t.Error("Counts() aliases internal state")
+	}
+}
+
+// Property: every observation lands in exactly one of {bins, under, over},
+// so the total always balances.
+func TestHistogramConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(-50, 50, 7)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			h.Add(rng.NormFloat64() * 60)
+		}
+		sum := h.Underflow() + h.Overflow()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == h.Total() && h.Total() == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

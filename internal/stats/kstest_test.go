@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalSample(rng *rand.Rand, n int, mean, std float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + std*rng.NormFloat64()
+	}
+	return out
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := normalSample(rng, 800, 0, 1)
+	b := normalSample(rng, 800, 0, 1)
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.001) {
+		t.Errorf("same distribution rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.N1 != 800 || res.N2 != 800 {
+		t.Errorf("sizes = %d/%d", res.N1, res.N2)
+	}
+}
+
+func TestKolmogorovSmirnovDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := normalSample(rng, 500, 0, 1)
+	b := normalSample(rng, 500, 1.5, 1)
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject(0.01) {
+		t.Errorf("shifted distribution not rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.Statistic < 0.3 {
+		t.Errorf("D = %v, want large for a 1.5-sigma shift", res.Statistic)
+	}
+}
+
+func TestKolmogorovSmirnovIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res, err := KolmogorovSmirnov(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("D on identical samples = %v, want 0", res.Statistic)
+	}
+	if res.PValue != 1 {
+		t.Errorf("p on identical samples = %v, want 1", res.PValue)
+	}
+}
+
+func TestKolmogorovSmirnovDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{100, 200, 300}
+	res, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 1 {
+		t.Errorf("D on disjoint samples = %v, want 1", res.Statistic)
+	}
+}
+
+func TestKolmogorovSmirnovErrors(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err == nil {
+		t.Error("empty first sample accepted")
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err == nil {
+		t.Error("empty second sample accepted")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.0
+	for _, lambda := range []float64{0.1, 0.5, 1.0, 1.5, 2.0, 3.0} {
+		p := ksPValue(lambda)
+		if p > prev+1e-12 {
+			t.Errorf("p-value not decreasing at lambda %v: %v > %v", lambda, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("p-value %v out of range at lambda %v", p, lambda)
+		}
+		prev = p
+	}
+	if got := ksPValue(0); got != 1 {
+		t.Errorf("ksPValue(0) = %v, want 1", got)
+	}
+}
+
+func TestWassersteinDistance(t *testing.T) {
+	// Point masses at 0 and at 3: distance is exactly 3.
+	d, err := WassersteinDistance([]float64{0, 0, 0}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-3) > 1e-12 {
+		t.Errorf("W1 = %v, want 3", d)
+	}
+
+	// Identical samples: zero distance.
+	same := []float64{1, 5, 9}
+	d, err = WassersteinDistance(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("W1 on identical samples = %v, want 0", d)
+	}
+
+	// Shift invariance: W1(X, X+c) = c.
+	rng := rand.New(rand.NewSource(3))
+	a := normalSample(rng, 2000, 0, 1)
+	b := make([]float64, len(a))
+	for i := range a {
+		b[i] = a[i] + 2.5
+	}
+	d, err = WassersteinDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2.5) > 0.05 {
+		t.Errorf("W1 of 2.5-shift = %v, want about 2.5", d)
+	}
+
+	if _, err := WassersteinDistance(nil, same); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestWassersteinSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := normalSample(rng, 300, 0, 2)
+	b := normalSample(rng, 400, 1, 1)
+	d1, err := WassersteinDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := WassersteinDistance(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("asymmetric W1: %v vs %v", d1, d2)
+	}
+}

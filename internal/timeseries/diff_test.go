@@ -1,0 +1,141 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDifference(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    []float64
+		d       int
+		want    []float64
+		wantErr bool
+	}{
+		{name: "d=0 identity", give: []float64{1, 2, 3}, d: 0, want: []float64{1, 2, 3}},
+		{name: "d=1", give: []float64{1, 3, 6, 10}, d: 1, want: []float64{2, 3, 4}},
+		{name: "d=2", give: []float64{1, 3, 6, 10}, d: 2, want: []float64{1, 1}},
+		{name: "too short", give: []float64{1}, d: 1, wantErr: true},
+		{name: "negative d", give: []float64{1, 2}, d: -1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Difference(tt.give, tt.d)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Difference = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("got[%d] = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDifferenceDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 2, 8}
+	if _, err := Difference(xs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 2 || xs[2] != 8 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestIntegrateUndoesDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{0, 1, 2, 3} {
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		w, err := Difference(xs, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Treat the final part of w as a "forecast" and rebuild it.
+		split := 30
+		head := xs[:split+d] // original values up to the forecast point
+		forecast := w[split:]
+		tail := head
+		if d > 0 {
+			tail = head[len(head)-d:]
+		}
+		rebuilt, err := Integrate(forecast, tail, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range rebuilt {
+			want := xs[split+d+i]
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("d=%d: rebuilt[%d] = %v, want %v", d, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	if _, err := Integrate([]float64{1}, nil, 1); err == nil {
+		t.Error("Integrate with missing tail succeeded, want error")
+	}
+	if _, err := Integrate([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("Integrate with negative d succeeded, want error")
+	}
+}
+
+func TestIntegrateD0IsIdentity(t *testing.T) {
+	got, err := Integrate([]float64{1, 2, 3}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// Property: Integrate(Difference(xs, d)) reproduces the original series for
+// any d in range.
+func TestDifferenceIntegrateRoundTrip(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		d := int(dRaw % 3)
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		w, err := Difference(xs, d)
+		if err != nil {
+			return false
+		}
+		tail := xs[:d]
+		rebuilt, err := Integrate(w, tail, d)
+		if err != nil {
+			return false
+		}
+		for i := range rebuilt {
+			if math.Abs(rebuilt[i]-xs[d+i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

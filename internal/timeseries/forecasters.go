@@ -1,0 +1,158 @@
+package timeseries
+
+import (
+	"fmt"
+
+	"botscope/internal/stats"
+)
+
+// Forecaster is a one-step-ahead predictor over a series. Implementations
+// receive the observed history and return the prediction for the next
+// point. The ablation benches compare ARIMA against these baselines.
+type Forecaster interface {
+	// Name identifies the forecaster in reports.
+	Name() string
+	// Predict returns the forecast for the value following history.
+	// history is never empty.
+	Predict(history []float64) float64
+}
+
+// Naive predicts the last observed value (random-walk forecast).
+type Naive struct{}
+
+var _ Forecaster = Naive{}
+
+// Name implements Forecaster.
+func (Naive) Name() string { return "naive" }
+
+// Predict implements Forecaster.
+func (Naive) Predict(history []float64) float64 { return history[len(history)-1] }
+
+// HistoricalMean predicts the mean of the full history.
+type HistoricalMean struct{}
+
+var _ Forecaster = HistoricalMean{}
+
+// Name implements Forecaster.
+func (HistoricalMean) Name() string { return "mean" }
+
+// Predict implements Forecaster.
+func (HistoricalMean) Predict(history []float64) float64 { return stats.Mean(history) }
+
+// Drift extrapolates the average historical slope from the last value.
+type Drift struct{}
+
+var _ Forecaster = Drift{}
+
+// Name implements Forecaster.
+func (Drift) Name() string { return "drift" }
+
+// Predict implements Forecaster.
+func (Drift) Predict(history []float64) float64 {
+	n := len(history)
+	if n < 2 {
+		return history[n-1]
+	}
+	slope := (history[n-1] - history[0]) / float64(n-1)
+	return history[n-1] + slope
+}
+
+// SES is simple exponential smoothing with smoothing factor Alpha in (0,1].
+type SES struct {
+	Alpha float64
+}
+
+var _ Forecaster = SES{}
+
+// Name implements Forecaster.
+func (s SES) Name() string { return fmt.Sprintf("ses(%.2f)", s.Alpha) }
+
+// Predict implements Forecaster.
+func (s SES) Predict(history []float64) float64 {
+	alpha := s.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	level := history[0]
+	for _, x := range history[1:] {
+		level = alpha*x + (1-alpha)*level
+	}
+	return level
+}
+
+// SlidingWindowMean predicts the mean of the last Window observations.
+type SlidingWindowMean struct {
+	Window int
+}
+
+var _ Forecaster = SlidingWindowMean{}
+
+// Name implements Forecaster.
+func (s SlidingWindowMean) Name() string { return fmt.Sprintf("window-mean(%d)", s.Window) }
+
+// Predict implements Forecaster.
+func (s SlidingWindowMean) Predict(history []float64) float64 {
+	w := s.Window
+	if w <= 0 || w > len(history) {
+		w = len(history)
+	}
+	return stats.Mean(history[len(history)-w:])
+}
+
+// Rolling evaluates a forecaster one-step-ahead over full[start:], feeding
+// it the true observed history at each step, and returns the predictions.
+func Rolling(f Forecaster, full []float64, start int) ([]float64, error) {
+	if start <= 0 || start >= len(full) {
+		return nil, fmt.Errorf("timeseries: rolling start %d out of range (series length %d)", start, len(full))
+	}
+	preds := make([]float64, 0, len(full)-start)
+	for t := start; t < len(full); t++ {
+		preds = append(preds, f.Predict(full[:t]))
+	}
+	return preds, nil
+}
+
+// Evaluation summarizes forecast accuracy against ground truth.
+type Evaluation struct {
+	Forecaster string
+	MAE        float64
+	RMSE       float64
+	// CosineSimilarity is the paper's Table IV headline measure.
+	CosineSimilarity float64
+	MeanPred         float64
+	StdPred          float64
+	MeanTruth        float64
+	StdTruth         float64
+}
+
+// Evaluate scores predictions against truth with the measures of Table IV.
+func Evaluate(name string, preds, truth []float64) (Evaluation, error) {
+	if len(preds) != len(truth) {
+		return Evaluation{}, fmt.Errorf("timeseries: evaluate needs equal lengths, got %d and %d", len(preds), len(truth))
+	}
+	if len(preds) == 0 {
+		return Evaluation{}, fmt.Errorf("timeseries: evaluate on empty prediction set")
+	}
+	mae, err := stats.MAE(preds, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	rmse, err := stats.RMSE(preds, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	cos, err := stats.CosineSimilarity(preds, truth)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{
+		Forecaster:       name,
+		MAE:              mae,
+		RMSE:             rmse,
+		CosineSimilarity: cos,
+		MeanPred:         stats.Mean(preds),
+		StdPred:          stats.StdDev(preds),
+		MeanTruth:        stats.Mean(truth),
+		StdTruth:         stats.StdDev(truth),
+	}, nil
+}

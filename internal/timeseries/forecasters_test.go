@@ -1,0 +1,118 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaive(t *testing.T) {
+	var f Naive
+	if got := f.Predict([]float64{1, 2, 9}); got != 9 {
+		t.Errorf("Naive.Predict = %v, want 9", got)
+	}
+	if f.Name() != "naive" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestHistoricalMean(t *testing.T) {
+	var f HistoricalMean
+	if got := f.Predict([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("HistoricalMean.Predict = %v, want 4", got)
+	}
+}
+
+func TestDrift(t *testing.T) {
+	var f Drift
+	// Slope (10-0)/4 = 2.5, so next = 10 + 2.5.
+	if got := f.Predict([]float64{0, 2, 5, 8, 10}); math.Abs(got-12.5) > 1e-12 {
+		t.Errorf("Drift.Predict = %v, want 12.5", got)
+	}
+	if got := f.Predict([]float64{7}); got != 7 {
+		t.Errorf("Drift.Predict on singleton = %v, want 7", got)
+	}
+}
+
+func TestSES(t *testing.T) {
+	f := SES{Alpha: 1} // alpha=1 degenerates to naive
+	if got := f.Predict([]float64{1, 2, 3}); got != 3 {
+		t.Errorf("SES(1).Predict = %v, want 3", got)
+	}
+	f0 := SES{Alpha: 0} // invalid alpha falls back to default, still finite
+	if got := f0.Predict([]float64{1, 2, 3}); math.IsNaN(got) {
+		t.Errorf("SES(0).Predict = NaN")
+	}
+	f5 := SES{Alpha: 0.5}
+	// level: 1 -> 1.5 -> 2.25
+	if got := f5.Predict([]float64{1, 2, 3}); math.Abs(got-2.25) > 1e-12 {
+		t.Errorf("SES(0.5).Predict = %v, want 2.25", got)
+	}
+}
+
+func TestSlidingWindowMean(t *testing.T) {
+	f := SlidingWindowMean{Window: 2}
+	if got := f.Predict([]float64{100, 1, 3}); got != 2 {
+		t.Errorf("SlidingWindowMean.Predict = %v, want 2", got)
+	}
+	fBig := SlidingWindowMean{Window: 50}
+	if got := fBig.Predict([]float64{2, 4}); got != 3 {
+		t.Errorf("oversized window Predict = %v, want 3", got)
+	}
+}
+
+func TestRolling(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	preds, err := Rolling(Naive{}, xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4} // naive predicts previous value
+	if len(preds) != len(want) {
+		t.Fatalf("len = %d, want %d", len(preds), len(want))
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("preds[%d] = %v, want %v", i, preds[i], want[i])
+		}
+	}
+}
+
+func TestRollingValidation(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if _, err := Rolling(Naive{}, xs, 0); err == nil {
+		t.Error("start=0 succeeded, want error")
+	}
+	if _, err := Rolling(Naive{}, xs, 3); err == nil {
+		t.Error("start=len succeeded, want error")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	preds := []float64{1, 2, 3}
+	truth := []float64{1, 2, 3}
+	ev, err := Evaluate("perfect", preds, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MAE != 0 || ev.RMSE != 0 {
+		t.Errorf("perfect forecast MAE/RMSE = %v/%v, want 0/0", ev.MAE, ev.RMSE)
+	}
+	if math.Abs(ev.CosineSimilarity-1) > 1e-12 {
+		t.Errorf("perfect forecast similarity = %v, want 1", ev.CosineSimilarity)
+	}
+	if ev.Forecaster != "perfect" {
+		t.Errorf("Forecaster = %q", ev.Forecaster)
+	}
+	if ev.MeanPred != 2 || ev.MeanTruth != 2 {
+		t.Errorf("means = %v/%v, want 2/2", ev.MeanPred, ev.MeanTruth)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate("x", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch succeeded, want error")
+	}
+	if _, err := Evaluate("x", nil, nil); err == nil {
+		t.Error("empty evaluation succeeded, want error")
+	}
+}

@@ -1,0 +1,136 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// ForecastInterval is a point forecast with a symmetric confidence band.
+type ForecastInterval struct {
+	Point float64
+	Lower float64
+	Upper float64
+	// StdErr is the forecast standard error at this horizon.
+	StdErr float64
+}
+
+// PsiWeights returns the first n coefficients of the model's MA(infinity)
+// representation (psi_0 = 1), from which multi-step forecast variances
+// follow: Var(h) = sigma^2 * sum_{i<h} psi_i^2.
+//
+// The recursion is psi_j = theta_j + sum_{i=1..min(j,p)} phi_i psi_{j-i},
+// with theta_j = 0 beyond q. Differencing is handled by composing the AR
+// polynomial with (1-B)^d.
+func (m *Model) PsiWeights(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	// Effective AR polynomial: phi(B) * (1-B)^d expanded.
+	phi := composeWithDifferencing(m.AR, m.Order.D)
+	psi := make([]float64, n)
+	psi[0] = 1
+	for j := 1; j < n; j++ {
+		var v float64
+		if j-1 < len(m.MA) {
+			v = m.MA[j-1]
+		}
+		for i := 1; i <= j && i <= len(phi); i++ {
+			v += phi[i-1] * psi[j-i]
+		}
+		psi[j] = v
+	}
+	return psi
+}
+
+// composeWithDifferencing expands phi(B)*(1-B)^d into an AR-style
+// coefficient vector a such that the model reads
+// x_t = sum a_i x_{t-i} + MA terms + e_t.
+func composeWithDifferencing(ar []float64, d int) []float64 {
+	// Polynomial in B: 1 - ar_1 B - ar_2 B^2 - ...
+	poly := make([]float64, len(ar)+1)
+	poly[0] = 1
+	for i, a := range ar {
+		poly[i+1] = -a
+	}
+	// Multiply by (1 - B) d times.
+	for k := 0; k < d; k++ {
+		next := make([]float64, len(poly)+1)
+		for i, c := range poly {
+			next[i] += c
+			next[i+1] -= c
+		}
+		poly = next
+	}
+	// Back to coefficient form: x_t = sum a_i x_{t-i} + ...
+	out := make([]float64, len(poly)-1)
+	for i := 1; i < len(poly); i++ {
+		out[i-1] = -poly[i]
+	}
+	return out
+}
+
+// ForecastWithIntervals returns h forecasts with confidence bands at the
+// given level (e.g. 0.95). It returns an error for invalid horizons or
+// levels outside (0, 1).
+func (m *Model) ForecastWithIntervals(h int, level float64) ([]ForecastInterval, error) {
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("timeseries: confidence level %v outside (0, 1)", level)
+	}
+	points, err := m.Forecast(h)
+	if err != nil {
+		return nil, err
+	}
+	psi := m.PsiWeights(h)
+	z := normalQuantile((1 + level) / 2)
+	out := make([]ForecastInterval, h)
+	var cum float64
+	for i := 0; i < h; i++ {
+		cum += psi[i] * psi[i]
+		se := math.Sqrt(m.Sigma2 * cum)
+		out[i] = ForecastInterval{
+			Point:  points[i],
+			Lower:  points[i] - z*se,
+			Upper:  points[i] + z*se,
+			StdErr: se,
+		}
+	}
+	return out, nil
+}
+
+// normalQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation, relative error ~1e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,175 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPsiWeightsAR1(t *testing.T) {
+	// For AR(1) with phi, psi_j = phi^j.
+	m := &Model{Order: Order{P: 1}, AR: []float64{0.6}}
+	psi := m.PsiWeights(5)
+	for j, got := range psi {
+		want := math.Pow(0.6, float64(j))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("psi[%d] = %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestPsiWeightsMA1(t *testing.T) {
+	// For MA(1) with theta, psi = [1, theta, 0, 0, ...].
+	m := &Model{Order: Order{Q: 1}, MA: []float64{0.4}}
+	psi := m.PsiWeights(4)
+	want := []float64{1, 0.4, 0, 0}
+	for j := range want {
+		if math.Abs(psi[j]-want[j]) > 1e-12 {
+			t.Errorf("psi[%d] = %v, want %v", j, psi[j], want[j])
+		}
+	}
+}
+
+func TestPsiWeightsARMA11(t *testing.T) {
+	// ARMA(1,1): psi_1 = phi + theta, psi_j = phi psi_{j-1} for j >= 2.
+	m := &Model{Order: Order{P: 1, Q: 1}, AR: []float64{0.5}, MA: []float64{0.3}}
+	psi := m.PsiWeights(4)
+	if math.Abs(psi[1]-0.8) > 1e-12 {
+		t.Errorf("psi[1] = %v, want 0.8", psi[1])
+	}
+	if math.Abs(psi[2]-0.4) > 1e-12 {
+		t.Errorf("psi[2] = %v, want 0.4", psi[2])
+	}
+	if math.Abs(psi[3]-0.2) > 1e-12 {
+		t.Errorf("psi[3] = %v, want 0.2", psi[3])
+	}
+}
+
+func TestPsiWeightsRandomWalk(t *testing.T) {
+	// ARIMA(0,1,0): x_t = x_{t-1} + e_t, so psi_j = 1 for all j and the
+	// forecast variance grows linearly.
+	m := &Model{Order: Order{D: 1}}
+	psi := m.PsiWeights(5)
+	for j, got := range psi {
+		if math.Abs(got-1) > 1e-12 {
+			t.Errorf("psi[%d] = %v, want 1 for a random walk", j, got)
+		}
+	}
+}
+
+func TestPsiWeightsEmpty(t *testing.T) {
+	m := &Model{Order: Order{P: 1}, AR: []float64{0.5}}
+	if got := m.PsiWeights(0); got != nil {
+		t.Errorf("PsiWeights(0) = %v, want nil", got)
+	}
+}
+
+func TestComposeWithDifferencing(t *testing.T) {
+	// AR(1) phi=0.5 with d=1: (1-0.5B)(1-B) = 1 - 1.5B + 0.5B^2,
+	// so effective coefficients are [1.5, -0.5].
+	got := composeWithDifferencing([]float64{0.5}, 1)
+	want := []float64{1.5, -0.5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("coef[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// d=0 passes through.
+	got = composeWithDifferencing([]float64{0.7}, 0)
+	if len(got) != 1 || got[0] != 0.7 {
+		t.Errorf("d=0 composition = %v, want [0.7]", got)
+	}
+}
+
+func TestForecastWithIntervals(t *testing.T) {
+	xs := genARMA([]float64{0.7}, nil, 10, 2000, 20)
+	m, err := Fit(xs, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.ForecastWithIntervals(10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 10 {
+		t.Fatalf("len = %d, want 10", len(fc))
+	}
+	for i, f := range fc {
+		if f.Lower >= f.Point || f.Point >= f.Upper {
+			t.Errorf("interval %d not ordered: %v < %v < %v", i, f.Lower, f.Point, f.Upper)
+		}
+		if i > 0 && f.StdErr < fc[i-1].StdErr-1e-9 {
+			t.Errorf("stderr decreasing at %d: %v -> %v", i, fc[i-1].StdErr, f.StdErr)
+		}
+	}
+	// One-step stderr equals sqrt(sigma2).
+	if math.Abs(fc[0].StdErr-math.Sqrt(m.Sigma2)) > 1e-9 {
+		t.Errorf("one-step stderr = %v, want sqrt(sigma2) = %v", fc[0].StdErr, math.Sqrt(m.Sigma2))
+	}
+	// 95% band is about +/- 1.96 sigma at one step.
+	want := 1.959964 * fc[0].StdErr
+	if math.Abs((fc[0].Upper-fc[0].Point)-want) > 1e-6*want {
+		t.Errorf("band half-width = %v, want %v", fc[0].Upper-fc[0].Point, want)
+	}
+}
+
+func TestForecastWithIntervalsWiderAtLowerConfidence(t *testing.T) {
+	xs := genARMA([]float64{0.5}, nil, 0, 500, 21)
+	m, err := Fit(xs, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc95, err := m.ForecastWithIntervals(3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc50, err := m.ForecastWithIntervals(3, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fc95 {
+		w95 := fc95[i].Upper - fc95[i].Lower
+		w50 := fc50[i].Upper - fc50[i].Lower
+		if w50 >= w95 {
+			t.Errorf("50%% band %v not narrower than 95%% band %v", w50, w95)
+		}
+	}
+}
+
+func TestForecastWithIntervalsValidation(t *testing.T) {
+	xs := genARMA([]float64{0.5}, nil, 0, 200, 22)
+	m, err := Fit(xs, Order{P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ForecastWithIntervals(5, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := m.ForecastWithIntervals(5, 1); err == nil {
+		t.Error("level 1 accepted")
+	}
+	if _, err := m.ForecastWithIntervals(0, 0.9); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want, tol float64
+	}{
+		{p: 0.5, want: 0, tol: 1e-8},
+		{p: 0.975, want: 1.959964, tol: 1e-5},
+		{p: 0.995, want: 2.575829, tol: 1e-5},
+		{p: 0.025, want: -1.959964, tol: 1e-5},
+	}
+	for _, tt := range tests {
+		if got := normalQuantile(tt.p); math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("boundary quantiles not infinite")
+	}
+}

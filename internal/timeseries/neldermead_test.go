@@ -1,0 +1,84 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// f(x) = (x0-3)^2 + (x1+2)^2 has its minimum at (3, -2).
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+	}
+	got, val, err := NelderMead(f, []float64{0, 0}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-3) > 1e-4 || math.Abs(got[1]+2) > 1e-4 {
+		t.Errorf("minimum at %v, want (3, -2)", got)
+	}
+	if val > 1e-6 {
+		t.Errorf("objective = %v, want about 0", val)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	// The banana function: minimum at (1, 1), famously hard for simplex
+	// methods started far away.
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	got, val, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadConfig{MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > 1e-4 {
+		t.Errorf("Rosenbrock objective = %v at %v, want near 0", val, got)
+	}
+}
+
+func TestNelderMeadOneDimension(t *testing.T) {
+	f := func(x []float64) float64 { return math.Abs(x[0] - 7) }
+	got, _, err := NelderMead(f, []float64{0}, NelderMeadConfig{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-7) > 1e-3 {
+		t.Errorf("minimum at %v, want 7", got[0])
+	}
+}
+
+func TestNelderMeadInfeasibleRegion(t *testing.T) {
+	// Objective is +Inf left of x=5, quadratic right of it: the optimizer
+	// must escape the infeasible start and converge near the boundary
+	// minimum at x=5.
+	f := func(x []float64) float64 {
+		if x[0] < 5 {
+			return math.Inf(1)
+		}
+		return (x[0] - 5) * (x[0] - 5)
+	}
+	got, val, err := NelderMead(f, []float64{6}, NelderMeadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val > 1e-6 || got[0] < 5 {
+		t.Errorf("minimum %v at %v, want 0 at >= 5", val, got)
+	}
+}
+
+func TestNelderMeadAllInfeasible(t *testing.T) {
+	f := func(x []float64) float64 { return math.Inf(1) }
+	if _, _, err := NelderMead(f, []float64{0}, NelderMeadConfig{MaxIter: 50}); err == nil {
+		t.Error("fully infeasible objective succeeded, want error")
+	}
+}
+
+func TestNelderMeadEmptyDimension(t *testing.T) {
+	f := func(x []float64) float64 { return 0 }
+	if _, _, err := NelderMead(f, nil, NelderMeadConfig{}); err == nil {
+		t.Error("zero-dimensional optimization succeeded, want error")
+	}
+}
