@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-stream report fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full pre-merge gate.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# bench-stream records streaming ingest throughput (attacks/sec).
+bench-stream:
+	$(GO) test -bench='BenchmarkStream(Ingest|Snapshot)' -benchmem -run=^$$
+
+report:
+	$(GO) run ./cmd/botreport -scale 0.2
+
+fmt:
+	gofmt -l -w .

@@ -55,6 +55,45 @@ func BenchmarkGenerateWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngest measures single-writer ingest throughput of the
+// streaming analyzer, replaying the bench workload in event-time order and
+// starting a fresh analyzer at each full pass.
+func BenchmarkStreamIngest(b *testing.B) {
+	attacks := benchWorkload(b).Store.Attacks()
+	if len(attacks) == 0 {
+		b.Skip("empty workload")
+	}
+	var sa *StreamAnalyzer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(attacks) == 0 {
+			sa = NewStreamAnalyzer()
+		}
+		if err := sa.Ingest(attacks[i%len(attacks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "attacks/sec")
+}
+
+// BenchmarkStreamSnapshot measures the cost of a full snapshot against a
+// fully loaded analyzer — the per-request cost of the live endpoints.
+func BenchmarkStreamSnapshot(b *testing.B) {
+	attacks := benchWorkload(b).Store.Attacks()
+	sa := NewStreamAnalyzer()
+	for _, a := range attacks {
+		if err := sa.Ingest(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := sa.Snapshot(); snap.Ingested != len(attacks) {
+			b.Fatalf("snapshot ingested = %d, want %d", snap.Ingested, len(attacks))
+		}
+	}
+}
+
 // benchExperiment is the common driver: one bench per table/figure.
 func benchExperiment(b *testing.B, run func() (*experiments.Result, error)) {
 	b.Helper()

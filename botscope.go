@@ -19,6 +19,10 @@
 //   - An experiment layer: one regeneration function per table and figure
 //     of the paper's evaluation, with measured-vs-paper metrics.
 //
+//   - A streaming layer (StreamAnalyzer): a bounded-memory online mirror
+//     of the core analyses that ingests attacks one at a time, for live
+//     feeds where the workload never fits in memory.
+//
 // Quickstart:
 //
 //	store, err := botscope.Generate(botscope.GenerateConfig{Seed: 1, Scale: 0.05})
@@ -36,6 +40,7 @@ import (
 	"botscope/internal/dataset"
 	"botscope/internal/experiments"
 	"botscope/internal/monitor"
+	"botscope/internal/stream"
 	"botscope/internal/synth"
 	"botscope/internal/timeseries"
 )
@@ -136,6 +141,37 @@ func WriteCSV(w io.Writer, attacks []*Attack) error   { return dataset.WriteCSV(
 func ReadCSV(r io.Reader) ([]*Attack, error)          { return dataset.ReadCSV(r) }
 func WriteJSONL(w io.Writer, attacks []*Attack) error { return dataset.WriteJSONL(w, attacks) }
 func ReadJSONL(r io.Reader) ([]*Attack, error)        { return dataset.ReadJSONL(r) }
+
+// ErrStop, returned from a Decode* callback, stops decoding early without
+// error.
+var ErrStop = dataset.ErrStop
+
+// DecodeCSV / DecodeJSONL stream attacks record by record without
+// materializing the full slice — the ingestion path for feeds of arbitrary
+// length.
+func DecodeCSV(r io.Reader, fn func(*Attack) error) error   { return dataset.DecodeCSV(r, fn) }
+func DecodeJSONL(r io.Reader, fn func(*Attack) error) error { return dataset.DecodeJSONL(r, fn) }
+
+// Streaming analytics types, re-exported from the stream layer.
+type (
+	// StreamAnalyzer ingests attacks one at a time and maintains online
+	// state mirroring the batch analyses in bounded memory. It is safe for
+	// one concurrent writer plus any number of snapshot readers.
+	StreamAnalyzer = stream.Analyzer
+	// StreamSnapshot is a point-in-time view of a StreamAnalyzer.
+	StreamSnapshot = stream.Snapshot
+	// StreamCollabCandidate is one live collaborative-attack candidate.
+	StreamCollabCandidate = stream.CollabCandidate
+	// StreamCollabSummary aggregates live collaboration detection.
+	StreamCollabSummary = stream.CollabSummary
+)
+
+// ErrOutOfOrder is returned by StreamAnalyzer.Ingest for records that
+// regress in event time.
+var ErrOutOfOrder = stream.ErrOutOfOrder
+
+// NewStreamAnalyzer builds an empty streaming analyzer.
+func NewStreamAnalyzer() *StreamAnalyzer { return stream.New() }
 
 // Analysis result types.
 type (

@@ -326,3 +326,29 @@ func TestExperimentsViaAPI(t *testing.T) {
 		t.Errorf("result = %+v", res)
 	}
 }
+
+func TestStreamAnalyzerViaAPI(t *testing.T) {
+	store := apiWorkload(t)
+	sa := NewStreamAnalyzer()
+	for _, a := range store.Attacks() {
+		if err := sa.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sa.Snapshot()
+	if snap.Ingested != store.NumAttacks() {
+		t.Fatalf("ingested = %d, want %d", snap.Ingested, store.NumAttacks())
+	}
+	// The snapshot mirrors the batch analyzer over the same workload.
+	a := NewAnalyzer(store)
+	daily, err := a.DailyDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Daily.Max != daily.Max {
+		t.Errorf("live daily max = %d, batch %d", snap.Daily.Max, daily.Max)
+	}
+	if err := sa.Ingest(store.Attacks()[0]); err == nil {
+		t.Error("out-of-order ingest accepted")
+	}
+}

@@ -21,25 +21,42 @@
 //	GET /api/chains                        §V-B multistage summary
 //	GET /api/experiments                   experiment IDs
 //	GET /api/experiments/{id}              one regenerated table/figure
+//	POST /api/ingest                       stream JSONL attacks into the live analyzer
+//	GET /api/live/summary                  live topline (always 200)
+//	GET /api/live/daily                    live Fig 2 daily series
+//	GET /api/live/intervals                live §III-B interval stats
+//	GET /api/live/durations                live §III-C duration stats
+//	GET /api/live/load                     live §II-B concurrent-load stats
+//	GET /api/live/collaborations           live §V candidates (Table VI counters)
+//
+// botserve shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"botscope"
 	"botscope/internal/serve"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the context; serve drains in-flight requests
+	// and exits cleanly instead of dropping connections mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "botserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("botserve", flag.ContinueOnError)
 	var (
 		addr  = fs.String("addr", ":8080", "listen address")
@@ -76,5 +93,5 @@ func run(args []string) error {
 
 	srv := serve.New(store, *scale)
 	fmt.Fprintf(os.Stderr, "serving %d attacks on %s\n", store.NumAttacks(), *addr)
-	return srv.ListenAndServe(*addr)
+	return srv.ListenAndServeContext(ctx, *addr)
 }

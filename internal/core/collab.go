@@ -58,7 +58,7 @@ func DetectCollaborationsWindow(s *dataset.Store, startWindow, durationWindow ti
 				j++
 			}
 			if group := attacks[i:j]; len(group) >= 2 {
-				if c := qualifyCollaboration(ip.String(), group, durationWindow); c != nil {
+				if c := QualifyCollaboration(ip.String(), group, durationWindow); c != nil {
 					out = append(out, c)
 				}
 			}
@@ -74,9 +74,13 @@ func DetectCollaborationsWindow(s *dataset.Store, startWindow, durationWindow ti
 	return out
 }
 
-// qualifyCollaboration checks the botnet-distinctness and duration-window
-// criteria, trimming the group to the largest duration-compatible subset.
-func qualifyCollaboration(target string, group []*dataset.Attack, durationWindow time.Duration) *Collaboration {
+// QualifyCollaboration checks the botnet-distinctness and duration-window
+// criteria over one start-window group of attacks on a single target,
+// trimming the group to the largest duration-compatible subset. It returns
+// nil when the group does not qualify. It is exported so the streaming
+// analyzer (internal/stream) applies the exact same criteria to its
+// windowed candidate groups as the batch detector does.
+func QualifyCollaboration(target string, group []*dataset.Attack, durationWindow time.Duration) *Collaboration {
 	// Find the largest subset whose durations sit inside the duration
 	// window: sort by duration and slide a window.
 	sorted := append([]*dataset.Attack(nil), group...)

@@ -3,6 +3,7 @@ package dataset
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
@@ -55,33 +56,57 @@ func WriteCSV(w io.Writer, attacks []*Attack) error {
 	return cw.Error()
 }
 
-// ReadCSV decodes attacks written by WriteCSV.
-func ReadCSV(r io.Reader) ([]*Attack, error) {
+// ErrStop, returned from a Decode* callback, stops decoding early without
+// error — the streaming analogue of breaking out of a range loop.
+var ErrStop = errors.New("dataset: stop decoding")
+
+// DecodeCSV streams attacks written by WriteCSV, invoking fn for each
+// record as it is parsed, without materializing the full slice. A non-nil
+// error from fn aborts decoding and is returned as-is (ErrStop aborts and
+// returns nil).
+func DecodeCSV(r io.Reader, fn func(*Attack) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+		return fmt.Errorf("dataset: read csv header: %w", err)
 	}
 	for i, col := range csvHeader {
 		if header[i] != col {
-			return nil, fmt.Errorf("dataset: csv header mismatch at column %d: got %q, want %q", i, header[i], col)
+			return fmt.Errorf("dataset: csv header mismatch at column %d: got %q, want %q", i, header[i], col)
 		}
 	}
-	var attacks []*Attack
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+			return fmt.Errorf("dataset: read csv line %d: %w", line, err)
 		}
 		a, err := parseCSVRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: csv line %d: %w", line, err)
+			return fmt.Errorf("dataset: csv line %d: %w", line, err)
 		}
+		if err := fn(a); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// ReadCSV decodes attacks written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*Attack, error) {
+	var attacks []*Attack
+	err := DecodeCSV(r, func(a *Attack) error {
 		attacks = append(attacks, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return attacks, nil
 }
@@ -202,57 +227,86 @@ func WriteJSONL(w io.Writer, attacks []*Attack) error {
 	return nil
 }
 
-// ReadJSONL decodes attacks written by WriteJSONL.
-func ReadJSONL(r io.Reader) ([]*Attack, error) {
+// DecodeJSONL streams attacks written by WriteJSONL, invoking fn for each
+// record as it is parsed, without materializing the full slice — the
+// ingestion path for live feeds of arbitrary length. A non-nil error from
+// fn aborts decoding and is returned as-is (ErrStop aborts and returns
+// nil).
+func DecodeJSONL(r io.Reader, fn func(*Attack) error) error {
 	dec := json.NewDecoder(r)
-	var attacks []*Attack
 	for n := 1; ; n++ {
 		var rec attackJSON
 		if err := dec.Decode(&rec); err == io.EOF {
-			break
+			return nil
 		} else if err != nil {
-			return nil, fmt.Errorf("dataset: decode jsonl record %d: %w", n, err)
+			return fmt.Errorf("dataset: decode jsonl record %d: %w", n, err)
 		}
-		cat, err := ParseCategory(rec.Category)
+		a, err := rec.attack()
 		if err != nil {
-			return nil, fmt.Errorf("dataset: jsonl record %d: %w", n, err)
+			return fmt.Errorf("dataset: jsonl record %d: %w", n, err)
 		}
-		target, err := netip.ParseAddr(rec.TargetIP)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: jsonl record %d target_ip: %w", n, err)
-		}
-		start, err := time.Parse(time.RFC3339, rec.Timestamp)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: jsonl record %d timestamp: %w", n, err)
-		}
-		end, err := time.Parse(time.RFC3339, rec.EndTime)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: jsonl record %d end_time: %w", n, err)
-		}
-		botIPs := make([]netip.Addr, 0, len(rec.BotIPs))
-		for _, s := range rec.BotIPs {
-			ip, ipErr := netip.ParseAddr(s)
-			if ipErr != nil {
-				return nil, fmt.Errorf("dataset: jsonl record %d botnet_ips: %w", n, ipErr)
+		if err := fn(a); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
 			}
-			botIPs = append(botIPs, ip)
+			return err
 		}
-		attacks = append(attacks, &Attack{
-			ID:            DDoSID(rec.ID),
-			BotnetID:      BotnetID(rec.BotnetID),
-			Family:        Family(rec.Family),
-			Category:      cat,
-			TargetIP:      target,
-			Start:         start,
-			End:           end,
-			BotIPs:        botIPs,
-			TargetASN:     rec.ASN,
-			TargetCountry: rec.CC,
-			TargetCity:    rec.City,
-			TargetOrg:     rec.Org,
-			TargetLat:     rec.Latitude,
-			TargetLon:     rec.Longitude,
-		})
+	}
+}
+
+// attack converts the wire form back into an Attack.
+func (rec *attackJSON) attack() (*Attack, error) {
+	cat, err := ParseCategory(rec.Category)
+	if err != nil {
+		return nil, err
+	}
+	target, err := netip.ParseAddr(rec.TargetIP)
+	if err != nil {
+		return nil, fmt.Errorf("target_ip: %w", err)
+	}
+	start, err := time.Parse(time.RFC3339, rec.Timestamp)
+	if err != nil {
+		return nil, fmt.Errorf("timestamp: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, rec.EndTime)
+	if err != nil {
+		return nil, fmt.Errorf("end_time: %w", err)
+	}
+	botIPs := make([]netip.Addr, 0, len(rec.BotIPs))
+	for _, s := range rec.BotIPs {
+		ip, ipErr := netip.ParseAddr(s)
+		if ipErr != nil {
+			return nil, fmt.Errorf("botnet_ips: %w", ipErr)
+		}
+		botIPs = append(botIPs, ip)
+	}
+	return &Attack{
+		ID:            DDoSID(rec.ID),
+		BotnetID:      BotnetID(rec.BotnetID),
+		Family:        Family(rec.Family),
+		Category:      cat,
+		TargetIP:      target,
+		Start:         start,
+		End:           end,
+		BotIPs:        botIPs,
+		TargetASN:     rec.ASN,
+		TargetCountry: rec.CC,
+		TargetCity:    rec.City,
+		TargetOrg:     rec.Org,
+		TargetLat:     rec.Latitude,
+		TargetLon:     rec.Longitude,
+	}, nil
+}
+
+// ReadJSONL decodes attacks written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*Attack, error) {
+	var attacks []*Attack
+	err := DecodeJSONL(r, func(a *Attack) error {
+		attacks = append(attacks, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return attacks, nil
 }

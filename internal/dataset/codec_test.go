@@ -2,11 +2,15 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"net/netip"
 	"strings"
 	"testing"
 	"time"
 )
+
+// errSentinel exercises callback-error propagation in the Decode* tests.
+var errSentinel = errors.New("sentinel")
 
 func sampleAttacks() []*Attack {
 	a1 := validAttack(1)
@@ -149,5 +153,91 @@ func TestJSONLEmptyInput(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("got %d records from empty input", len(got))
+	}
+}
+
+func TestDecodeJSONLStreaming(t *testing.T) {
+	want := sampleAttacks()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Attack
+	if err := DecodeJSONL(&buf, func(a *Attack) error {
+		got = append(got, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	attacksEqual(t, got, want)
+}
+
+func TestDecodeJSONLCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleAttacks()); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := strings.NewReader(buf.String())
+	calls := 0
+	err := DecodeJSONL(sentinel, func(*Attack) error {
+		calls++
+		return errSentinel
+	})
+	if err != errSentinel {
+		t.Errorf("callback error = %v, want sentinel passed through", err)
+	}
+	if calls != 1 {
+		t.Errorf("decoding continued after callback error: %d calls", calls)
+	}
+}
+
+func TestDecodeJSONLErrStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleAttacks()); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := DecodeJSONL(&buf, func(*Attack) error {
+		calls++
+		return ErrStop
+	})
+	if err != nil {
+		t.Errorf("ErrStop surfaced as error: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("decoding continued after ErrStop: %d calls", calls)
+	}
+}
+
+func TestDecodeCSVStreaming(t *testing.T) {
+	want := sampleAttacks()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	var got []*Attack
+	if err := DecodeCSV(&buf, func(a *Attack) error {
+		got = append(got, a)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	attacksEqual(t, got, want)
+}
+
+func TestDecodeCSVErrStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleAttacks()); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := DecodeCSV(&buf, func(*Attack) error {
+		calls++
+		return ErrStop
+	}); err != nil {
+		t.Errorf("ErrStop surfaced as error: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("decoding continued after ErrStop: %d calls", calls)
 	}
 }

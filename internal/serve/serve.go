@@ -1,11 +1,15 @@
 // Package serve exposes botscope analyses over HTTP as JSON — the
 // integration surface a monitoring operation would embed in dashboards.
-// Routes are read-only; the workload is loaded once and shared.
+// The batch routes are read-only over a workload loaded once; the
+// streaming routes (POST /api/ingest, GET /api/live/*) feed and query a
+// bounded-memory online analyzer for live telemetry.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -14,29 +18,41 @@ import (
 	"botscope/internal/dataset"
 	"botscope/internal/experiments"
 	"botscope/internal/monitor"
+	"botscope/internal/stream"
 	"botscope/internal/timeseries"
 )
 
-// Server serves analysis endpoints over one workload.
+// shutdownGrace bounds how long in-flight requests may run after the serve
+// context is cancelled.
+const shutdownGrace = 10 * time.Second
+
+// Server serves analysis endpoints over one workload plus a live ingest
+// stream.
 type Server struct {
 	store     *dataset.Store
 	collector *monitor.Collector
 	workload  *experiments.Workload
+	live      *stream.Analyzer
 	mux       *http.ServeMux
 }
 
 // New builds a server for the workload; scale feeds the experiment layer's
-// count expectations (1.0 = paper size).
+// count expectations (1.0 = paper size). The live analyzer starts empty
+// and fills through POST /api/ingest.
 func New(store *dataset.Store, scale float64) *Server {
 	s := &Server{
 		store:     store,
 		collector: monitor.NewCollector(store),
 		workload:  experiments.FromStore(store, scale),
+		live:      stream.New(),
 		mux:       http.NewServeMux(),
 	}
 	s.routes()
 	return s
 }
+
+// Live returns the server's streaming analyzer (for in-process feeders).
+func (s *Server) Live() *stream.Analyzer { return s.live }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -55,6 +71,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/chains", s.handleChains)
 	s.mux.HandleFunc("GET /api/experiments", s.handleExperimentList)
 	s.mux.HandleFunc("GET /api/experiments/{id}", s.handleExperiment)
+	s.mux.HandleFunc("POST /api/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /api/live/summary", s.handleLiveSummary)
+	s.mux.HandleFunc("GET /api/live/daily", s.handleLiveDaily)
+	s.mux.HandleFunc("GET /api/live/intervals", s.handleLiveIntervals)
+	s.mux.HandleFunc("GET /api/live/durations", s.handleLiveDurations)
+	s.mux.HandleFunc("GET /api/live/load", s.handleLiveLoad)
+	s.mux.HandleFunc("GET /api/live/collaborations", s.handleLiveCollaborations)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
@@ -296,15 +319,165 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q", id))
 }
 
+// handleIngest streams JSONL attack records from the request body into the
+// live analyzer without materializing them. The response reports how many
+// records this request ingested and the analyzer's running total. A
+// malformed or out-of-order record aborts the request with 422 after the
+// preceding records have been applied.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ingested := 0
+	err := dataset.DecodeJSONL(r.Body, func(a *dataset.Attack) error {
+		if err := s.live.Ingest(a); err != nil {
+			return err
+		}
+		ingested++
+		return nil
+	})
+	total := s.live.Snapshot().Ingested
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":    err.Error(),
+			"ingested": ingested,
+			"total":    total,
+		})
+		return
+	}
+	writeJSON(w, map[string]any{"ingested": ingested, "total": total})
+}
+
+// liveSnapshot fetches the current snapshot, 422-ing when nothing has been
+// ingested yet (mirroring the batch handlers' empty-workload behaviour).
+func (s *Server) liveSnapshot(w http.ResponseWriter) (stream.Snapshot, bool) {
+	snap := s.live.Snapshot()
+	if snap.Ingested == 0 {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("serve: no attacks ingested yet"))
+		return snap, false
+	}
+	return snap, true
+}
+
+func (s *Server) handleLiveSummary(w http.ResponseWriter, _ *http.Request) {
+	snap := s.live.Snapshot()
+	type protoRow struct {
+		Protocol string `json:"protocol"`
+		Count    int    `json:"count"`
+	}
+	out := struct {
+		Ingested      int        `json:"ingested"`
+		FirstStart    string     `json:"first_start,omitempty"`
+		LastStart     string     `json:"last_start,omitempty"`
+		ActiveAttacks int        `json:"active_attacks"`
+		PeakActive    int        `json:"peak_active"`
+		Protocols     []protoRow `json:"protocols"`
+	}{Ingested: snap.Ingested, ActiveAttacks: snap.ActiveAttacks, PeakActive: snap.Load.Peak}
+	if snap.Ingested > 0 {
+		out.FirstStart = snap.FirstStart.UTC().Format(time.RFC3339)
+		out.LastStart = snap.LastStart.UTC().Format(time.RFC3339)
+	}
+	for _, p := range snap.Protocols {
+		out.Protocols = append(out.Protocols, protoRow{Protocol: p.Category.String(), Count: p.Count})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleLiveDaily(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.liveSnapshot(w)
+	if !ok {
+		return
+	}
+	type day struct {
+		Day   string `json:"day"`
+		Count int    `json:"count"`
+	}
+	out := struct {
+		Average float64 `json:"average"`
+		Max     int     `json:"max"`
+		MaxDay  string  `json:"max_day"`
+		Days    []day   `json:"days"`
+	}{Average: snap.Daily.Average, Max: snap.Daily.Max, MaxDay: snap.Daily.MaxDay.Format("2006-01-02")}
+	for _, d := range snap.Daily.Days {
+		out.Days = append(out.Days, day{Day: d.Day.Format("2006-01-02"), Count: d.Count})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleLiveIntervals(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.liveSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, snap.Intervals)
+}
+
+func (s *Server) handleLiveDurations(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.liveSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, snap.Durations)
+}
+
+func (s *Server) handleLiveLoad(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.liveSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, struct {
+		Active           int     `json:"active"`
+		Peak             int     `json:"peak"`
+		PeakTime         string  `json:"peak_time"`
+		TimeWeightedMean float64 `json:"time_weighted_mean"`
+	}{
+		Active:           snap.ActiveAttacks,
+		Peak:             snap.Load.Peak,
+		PeakTime:         snap.Load.PeakTime.UTC().Format(time.RFC3339),
+		TimeWeightedMean: snap.Load.TimeWeightedMean,
+	})
+}
+
+func (s *Server) handleLiveCollaborations(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.liveSnapshot(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, snap.Collaborations)
+}
+
 // ListenAndServe runs the server with sane timeouts until the listener
-// fails. It is the entry point cmd/botserve uses.
+// fails. It is the non-cancellable entry point; long-lived callers should
+// prefer ListenAndServeContext.
 func (s *Server) ListenAndServe(addr string) error {
+	return s.ListenAndServeContext(context.Background(), addr)
+}
+
+// ListenAndServeContext runs the server until the listener fails or ctx is
+// cancelled. On cancellation it shuts down gracefully, letting in-flight
+// requests finish within shutdownGrace, and returns nil.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      120 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // drain the http.ErrServerClosed from Serve
+	return nil
 }

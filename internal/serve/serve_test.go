@@ -1,11 +1,15 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"botscope/internal/dataset"
 	"botscope/internal/synth"
@@ -202,6 +206,171 @@ func TestExperimentEndpoints(t *testing.T) {
 		t.Errorf("experiment result = %+v", res)
 	}
 	get(t, s, "/api/experiments/Table%20XL", http.StatusNotFound, nil)
+}
+
+// liveServer builds an unshared server: ingest tests mutate live state, so
+// they must not reuse the sync.Once instance the read-only tests share.
+func liveServer(t *testing.T) (*Server, []*dataset.Attack) {
+	t.Helper()
+	store, err := synth.GenerateStore(synth.Config{Seed: 6, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(store, 0.02), store.Attacks()
+}
+
+// post performs a POST request and decodes the JSON body into out.
+func post(t *testing.T, s *Server, path, body string, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST %s = %d, want %d (body: %.200s)", path, rec.Code, wantStatus, rec.Body.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("POST %s returned invalid JSON: %v", path, err)
+		}
+	}
+}
+
+func TestIngestAndLiveEndpoints(t *testing.T) {
+	s, attacks := liveServer(t)
+
+	// Before any ingest: summary reports zero, analysis sections 422.
+	var summary struct {
+		Ingested      int `json:"ingested"`
+		ActiveAttacks int `json:"active_attacks"`
+		PeakActive    int `json:"peak_active"`
+	}
+	get(t, s, "/api/live/summary", http.StatusOK, &summary)
+	if summary.Ingested != 0 {
+		t.Fatalf("pre-ingest summary = %+v, want empty", summary)
+	}
+	for _, path := range []string{
+		"/api/live/daily", "/api/live/intervals", "/api/live/durations",
+		"/api/live/load", "/api/live/collaborations",
+	} {
+		get(t, s, path, http.StatusUnprocessableEntity, nil)
+	}
+
+	// Ingest the full workload as JSONL in two batches.
+	var buf bytes.Buffer
+	half := len(attacks) / 2
+	if err := dataset.WriteJSONL(&buf, attacks[:half]); err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		Ingested int `json:"ingested"`
+		Total    int `json:"total"`
+	}
+	post(t, s, "/api/ingest", buf.String(), http.StatusOK, &resp)
+	if resp.Ingested != half || resp.Total != half {
+		t.Fatalf("first batch = %+v, want ingested=total=%d", resp, half)
+	}
+	buf.Reset()
+	if err := dataset.WriteJSONL(&buf, attacks[half:]); err != nil {
+		t.Fatal(err)
+	}
+	post(t, s, "/api/ingest", buf.String(), http.StatusOK, &resp)
+	if resp.Total != len(attacks) {
+		t.Fatalf("second batch total = %d, want %d", resp.Total, len(attacks))
+	}
+
+	// Live sections now match the batch endpoints over the same store.
+	get(t, s, "/api/live/summary", http.StatusOK, &summary)
+	if summary.Ingested != len(attacks) || summary.PeakActive == 0 {
+		t.Errorf("post-ingest summary = %+v", summary)
+	}
+	var daily struct {
+		Max  int `json:"max"`
+		Days []struct {
+			Day   string `json:"day"`
+			Count int    `json:"count"`
+		} `json:"days"`
+	}
+	get(t, s, "/api/live/daily", http.StatusOK, &daily)
+	if daily.Max == 0 || len(daily.Days) == 0 {
+		t.Errorf("live daily = %+v", daily)
+	}
+	var intervals struct {
+		N int `json:"N"`
+	}
+	get(t, s, "/api/live/intervals", http.StatusOK, &intervals)
+	if intervals.N != len(attacks)-1 {
+		t.Errorf("live intervals N = %d, want %d", intervals.N, len(attacks)-1)
+	}
+	var load struct {
+		Peak     int    `json:"peak"`
+		PeakTime string `json:"peak_time"`
+	}
+	get(t, s, "/api/live/load", http.StatusOK, &load)
+	if load.Peak == 0 || load.PeakTime == "" {
+		t.Errorf("live load = %+v", load)
+	}
+	var collab struct {
+		TotalIntra int `json:"total_intra"`
+		TotalInter int `json:"total_inter"`
+	}
+	get(t, s, "/api/live/collaborations", http.StatusOK, &collab)
+	if collab.TotalIntra == 0 {
+		t.Errorf("live collaborations = %+v", collab)
+	}
+	get(t, s, "/api/live/durations", http.StatusOK, nil)
+}
+
+func TestIngestRejectsBadPayload(t *testing.T) {
+	s, attacks := liveServer(t)
+
+	var resp struct {
+		Error    string `json:"error"`
+		Ingested int    `json:"ingested"`
+	}
+	post(t, s, "/api/ingest", "{not json}\n", http.StatusUnprocessableEntity, &resp)
+	if resp.Error == "" || resp.Ingested != 0 {
+		t.Errorf("malformed payload response = %+v", resp)
+	}
+
+	// Out-of-order: ingest a later attack, then replay an earlier one.
+	var buf bytes.Buffer
+	if err := dataset.WriteJSONL(&buf, []*dataset.Attack{attacks[10]}); err != nil {
+		t.Fatal(err)
+	}
+	post(t, s, "/api/ingest", buf.String(), http.StatusOK, nil)
+	buf.Reset()
+	if err := dataset.WriteJSONL(&buf, []*dataset.Attack{attacks[0]}); err != nil {
+		t.Fatal(err)
+	}
+	post(t, s, "/api/ingest", buf.String(), http.StatusUnprocessableEntity, &resp)
+	if resp.Error == "" {
+		t.Errorf("out-of-order response = %+v, want error", resp)
+	}
+}
+
+func TestListenAndServeContextShutdown(t *testing.T) {
+	s, _ := liveServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServeContext(ctx, "127.0.0.1:0") }()
+	// Give the listener a moment to come up, then trigger shutdown.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after context cancellation")
+	}
+}
+
+func TestListenAndServeContextBadAddr(t *testing.T) {
+	s, _ := liveServer(t)
+	if err := s.ListenAndServeContext(context.Background(), "256.0.0.1:bogus"); err == nil {
+		t.Error("bad address accepted")
+	}
 }
 
 func TestMethodNotAllowed(t *testing.T) {

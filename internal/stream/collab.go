@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"botscope/internal/core"
+	"botscope/internal/dataset"
+)
+
+// maxRecentCandidates bounds the live candidate ring exposed by snapshots.
+const maxRecentCandidates = 32
+
+// CollabCandidate is one detected (or still-open) collaborative attack:
+// the live counterpart of a core.Collaboration, trimmed to the fields a
+// dashboard needs.
+type CollabCandidate struct {
+	Target   string           `json:"target"`
+	Start    time.Time        `json:"start"`
+	Families []dataset.Family `json:"families"`
+	Botnets  int              `json:"botnets"`
+	Attacks  int              `json:"attacks"`
+}
+
+// CollabSummary aggregates live collaboration detection the way the batch
+// core.CollabStats does (Table VI), plus a bounded ring of the most recent
+// candidates and the number of still-open windows.
+type CollabSummary struct {
+	TotalIntra  int                    `json:"total_intra"`
+	TotalInter  int                    `json:"total_inter"`
+	MeanBotnets float64                `json:"mean_botnets"`
+	Intra       map[dataset.Family]int `json:"intra"`
+	Inter       map[dataset.Family]int `json:"inter"`
+	// PairCounts counts inter-family pairs, keyed "famA+famB" with A < B.
+	PairCounts map[string]int `json:"pair_counts"`
+	// Recent holds the latest qualified candidates, oldest first.
+	Recent []CollabCandidate `json:"recent"`
+	// OpenWindows is the number of per-target start windows still inside
+	// the 60 s horizon at snapshot time.
+	OpenWindows int `json:"open_windows"`
+}
+
+// collabTracker performs windowed cross-botnet collaboration detection:
+// per target it accumulates attacks into 60 s start windows (anchored at
+// the window's first attack, exactly like the batch grouping) and
+// qualifies each window with core.QualifyCollaboration once event time
+// moves past it. Memory is bounded by the attacks arriving inside any
+// single start-window horizon.
+type collabTracker struct {
+	startWindow    time.Duration
+	durationWindow time.Duration
+
+	open  map[netip.Addr]*openGroup
+	queue []*openGroup // anchor-ordered, for horizon expiry
+
+	totalIntra   int
+	totalInter   int
+	totalBotnets int
+	qualified    int
+	intra        map[dataset.Family]int
+	inter        map[dataset.Family]int
+	pairs        map[string]int
+	recent       []CollabCandidate
+}
+
+type openGroup struct {
+	target  netip.Addr
+	anchor  time.Time
+	attacks []*dataset.Attack
+	closed  bool
+}
+
+func newCollabTracker(startWindow, durationWindow time.Duration) *collabTracker {
+	return &collabTracker{
+		startWindow:    startWindow,
+		durationWindow: durationWindow,
+		open:           make(map[netip.Addr]*openGroup),
+		intra:          make(map[dataset.Family]int),
+		inter:          make(map[dataset.Family]int),
+		pairs:          make(map[string]int),
+	}
+}
+
+// ingest routes one attack (arriving in global start order) into its
+// target's current window, closing windows the event horizon has passed.
+func (t *collabTracker) ingest(a *dataset.Attack) {
+	// Expire every window whose 60 s horizon precedes this attack: no
+	// future attack can join it, so it can be finalized and released.
+	for len(t.queue) > 0 && a.Start.Sub(t.queue[0].anchor) >= t.startWindow {
+		g := t.queue[0]
+		t.queue = t.queue[1:]
+		t.finalize(g)
+	}
+
+	g := t.open[a.TargetIP]
+	if g != nil && a.Start.Sub(g.anchor) < t.startWindow {
+		g.attacks = append(g.attacks, a)
+		return
+	}
+	if g != nil {
+		// The target's previous window is out of range for this attack but
+		// still queued; close it now so the new window replaces it.
+		t.finalize(g)
+	}
+	g = &openGroup{target: a.TargetIP, anchor: a.Start, attacks: []*dataset.Attack{a}}
+	t.open[a.TargetIP] = g
+	t.queue = append(t.queue, g)
+}
+
+// finalize qualifies a window once and releases its attack references.
+func (t *collabTracker) finalize(g *openGroup) {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	if t.open[g.target] == g {
+		delete(t.open, g.target)
+	}
+	if c := t.qualify(g); c != nil {
+		t.record(c)
+	}
+	g.attacks = nil
+}
+
+// qualify applies the batch criteria to one window.
+func (t *collabTracker) qualify(g *openGroup) *core.Collaboration {
+	if len(g.attacks) < 2 {
+		return nil
+	}
+	return core.QualifyCollaboration(g.target.String(), g.attacks, t.durationWindow)
+}
+
+// record folds one qualified collaboration into the Table VI counters.
+func (t *collabTracker) record(c *core.Collaboration) {
+	t.qualified++
+	t.totalBotnets += c.Botnets()
+	if c.Intra() {
+		t.totalIntra++
+		t.intra[c.Families[0]]++
+	} else {
+		t.totalInter++
+		for _, f := range c.Families {
+			t.inter[f]++
+		}
+		for x := 0; x < len(c.Families); x++ {
+			for y := x + 1; y < len(c.Families); y++ {
+				t.pairs[string(c.Families[x])+"+"+string(c.Families[y])]++
+			}
+		}
+	}
+	t.recent = append(t.recent, CollabCandidate{
+		Target:   c.Target,
+		Start:    c.Start,
+		Families: append([]dataset.Family(nil), c.Families...),
+		Botnets:  c.Botnets(),
+		Attacks:  len(c.Attacks),
+	})
+	if len(t.recent) > maxRecentCandidates {
+		t.recent = t.recent[len(t.recent)-maxRecentCandidates:]
+	}
+}
+
+// snapshot aggregates closed windows plus a read-only qualification of the
+// still-open ones, so an end-of-stream snapshot matches the batch detector
+// exactly. It never mutates tracker state.
+func (t *collabTracker) snapshot() CollabSummary {
+	out := CollabSummary{
+		TotalIntra:  t.totalIntra,
+		TotalInter:  t.totalInter,
+		Intra:       make(map[dataset.Family]int, len(t.intra)),
+		Inter:       make(map[dataset.Family]int, len(t.inter)),
+		PairCounts:  make(map[string]int, len(t.pairs)),
+		Recent:      append([]CollabCandidate(nil), t.recent...),
+		OpenWindows: len(t.open),
+	}
+	for f, n := range t.intra {
+		out.Intra[f] = n
+	}
+	for f, n := range t.inter {
+		out.Inter[f] = n
+	}
+	for p, n := range t.pairs {
+		out.PairCounts[p] = n
+	}
+
+	qualified, botnets := t.qualified, t.totalBotnets
+	// Qualify open windows as the batch detector would at end of input.
+	// Deterministic order (by anchor, then target) keeps Recent stable.
+	pending := make([]*openGroup, 0, len(t.open))
+	for _, g := range t.open {
+		pending = append(pending, g)
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if !pending[i].anchor.Equal(pending[j].anchor) {
+			return pending[i].anchor.Before(pending[j].anchor)
+		}
+		return pending[i].target.Less(pending[j].target)
+	})
+	for _, g := range pending {
+		c := t.qualify(g)
+		if c == nil {
+			continue
+		}
+		qualified++
+		botnets += c.Botnets()
+		if c.Intra() {
+			out.TotalIntra++
+			out.Intra[c.Families[0]]++
+		} else {
+			out.TotalInter++
+			for _, f := range c.Families {
+				out.Inter[f]++
+			}
+			for x := 0; x < len(c.Families); x++ {
+				for y := x + 1; y < len(c.Families); y++ {
+					out.PairCounts[string(c.Families[x])+"+"+string(c.Families[y])]++
+				}
+			}
+		}
+		out.Recent = append(out.Recent, CollabCandidate{
+			Target:   c.Target,
+			Start:    c.Start,
+			Families: append([]dataset.Family(nil), c.Families...),
+			Botnets:  c.Botnets(),
+			Attacks:  len(c.Attacks),
+		})
+	}
+	if len(out.Recent) > maxRecentCandidates {
+		out.Recent = out.Recent[len(out.Recent)-maxRecentCandidates:]
+	}
+	if qualified > 0 {
+		out.MeanBotnets = float64(botnets) / float64(qualified)
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package stream provides bounded-memory online analytics over a live feed
+// of DDoS attack records. A stream.Analyzer ingests dataset.Attack records
+// one at a time (single writer) and maintains incremental state mirroring
+// the batch analyses of internal/core: protocol/family counters and daily
+// buckets (Figs 1-2), streaming quantile sketches for inter-attack
+// intervals and durations (§III-B/C), a heap-based sweep of concurrently
+// active attacks (§II-B), and windowed cross-botnet collaboration
+// detection (§V). Snapshot() returns the same result types the batch
+// Analyzer produces, so parity is directly testable.
+package stream
+
+import (
+	"math"
+	"sort"
+)
+
+// QuantileSketch is a bounded-memory streaming quantile estimator over
+// non-negative values, in the DDSketch family: values are counted in
+// logarithmically spaced buckets chosen so that every estimate carries a
+// guaranteed relative error of at most Alpha. Memory is O(log(max/min) /
+// Alpha) buckets regardless of stream length; with the default Alpha and
+// second-scaled durations/intervals that is under ~2,000 buckets.
+//
+// The zero value is not usable; construct with NewQuantileSketch. A sketch
+// is not safe for concurrent mutation; Quantile and friends are read-only.
+type QuantileSketch struct {
+	alpha   float64
+	gamma   float64
+	lnGamma float64
+	maxBins int
+
+	zero   uint64 // count of values <= minIndexable
+	counts map[int]uint64
+	n      uint64
+	min    float64
+	max    float64
+}
+
+// DefaultAlpha is the relative-error guarantee used by the Analyzer's
+// sketches: estimates are within 0.5% of the true sample value, well
+// inside the 2% parity tolerance against the batch quantiles.
+const DefaultAlpha = 0.005
+
+// minIndexable is the smallest magnitude tracked in log buckets; values at
+// or below it (including all zeros, which dominate inter-attack gap series)
+// land in a dedicated exact-zero bucket. One microsecond is far below any
+// meaningful attack gap or duration.
+const minIndexable = 1e-6
+
+// NewQuantileSketch builds a sketch with the given relative-error target
+// (0 means DefaultAlpha). Alpha must stay in (0, 1).
+func NewQuantileSketch(alpha float64) *QuantileSketch {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if alpha >= 1 {
+		alpha = 0.5
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &QuantileSketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lnGamma: math.Log(gamma),
+		maxBins: 4096,
+		counts:  make(map[int]uint64),
+	}
+}
+
+// Alpha returns the sketch's relative-error guarantee.
+func (s *QuantileSketch) Alpha() float64 { return s.alpha }
+
+// N returns the number of values added.
+func (s *QuantileSketch) N() int { return int(s.n) }
+
+// Bins returns the number of live log buckets (excluding the zero bucket),
+// the sketch's memory footprint measure.
+func (s *QuantileSketch) Bins() int { return len(s.counts) }
+
+// Add folds x into the sketch. Negative values are clamped to zero (the
+// analyzer only feeds non-negative gap/duration seconds).
+func (s *QuantileSketch) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	if x <= minIndexable {
+		s.zero++
+		return
+	}
+	key := int(math.Ceil(math.Log(x) / s.lnGamma))
+	s.counts[key]++
+	if len(s.counts) > s.maxBins {
+		s.collapse()
+	}
+}
+
+// collapse merges the two lowest buckets, trading accuracy at the cheap
+// low end for a hard memory cap (the DDSketch collapsing strategy).
+func (s *QuantileSketch) collapse() {
+	lowest, second := math.MaxInt, math.MaxInt
+	for k := range s.counts {
+		if k < lowest {
+			second = lowest
+			lowest = k
+		} else if k < second {
+			second = k
+		}
+	}
+	if second == math.MaxInt {
+		return
+	}
+	s.counts[second] += s.counts[lowest]
+	delete(s.counts, lowest)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the values added
+// so far. It returns NaN for an empty sketch or q outside [0, 1].
+func (s *QuantileSketch) Quantile(q float64) float64 {
+	if s.n == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	// Target the order statistic nearest rank q*(n-1), the same anchor the
+	// batch type-7 quantile interpolates around.
+	rank := uint64(math.Round(q * float64(s.n-1)))
+	if rank < s.zero {
+		return 0
+	}
+	keys := make([]int, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	cum := s.zero
+	for _, k := range keys {
+		cum += s.counts[k]
+		if rank < cum {
+			// Mid-bucket estimate: bucket k covers (gamma^(k-1), gamma^k];
+			// 2*gamma^k/(gamma+1) is within alpha of every value inside.
+			est := 2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1)
+			return clamp(est, s.min, s.max)
+		}
+	}
+	return s.max
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Min returns the smallest value added, or NaN for an empty sketch.
+func (s *QuantileSketch) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest value added, or NaN for an empty sketch.
+func (s *QuantileSketch) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// P2Quantile is the classic P² (Jain & Chlamtac 1985) single-quantile
+// estimator: five markers updated with parabolic interpolation, O(1) memory
+// and time per observation. It is kept alongside QuantileSketch as the
+// constant-memory option when even log-bucket memory is too much (e.g. one
+// estimator per tracked target); the Analyzer's snapshots use the sketch,
+// whose error is guaranteed rather than distribution-dependent.
+//
+// The zero value is not usable; construct with NewP2Quantile.
+type P2Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // marker positions (1-based)
+	want [5]float64 // desired marker positions
+	dpos [5]float64 // desired position increments per observation
+	init []float64  // first five observations
+}
+
+// NewP2Quantile builds a P² estimator for quantile p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		p = 0.5
+	}
+	return &P2Quantile{
+		p:    p,
+		dpos: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+		init: make([]float64, 0, 5),
+	}
+}
+
+// N returns the number of observations added.
+func (e *P2Quantile) N() int { return e.n }
+
+// Add folds x into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	e.n++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x, extending the extremes when needed.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dpos[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qn := e.parabolic(i, sign)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, sign)
+			}
+			e.q[i] = qn
+			e.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker update.
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback update when the parabola overshoots a neighbour.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate, or NaN before any
+// observation. With fewer than five observations it falls back to the
+// exact small-sample quantile.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		sorted := append([]float64(nil), e.init...)
+		sort.Float64s(sorted)
+		pos := e.p * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return e.q[2]
+}

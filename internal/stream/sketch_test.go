@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile is the type-7 quantile the batch stats package uses.
+func exactQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func TestQuantileSketchLognormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sk := NewQuantileSketch(0)
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Lognormal roughly matching attack durations (median ~1800 s).
+		x := 1800 * math.Exp(1.4*rng.NormFloat64())
+		sk.Add(x)
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.8, 0.95, 0.99} {
+		want := exactQuantile(xs, q)
+		got := sk.Quantile(q)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("q=%.2f: sketch %v, exact %v (rel err %.4f)", q, got, want, math.Abs(got-want)/want)
+		}
+	}
+}
+
+func TestQuantileSketchZeroMass(t *testing.T) {
+	sk := NewQuantileSketch(0)
+	// 60% zeros (simultaneous launches), 40% positive gaps.
+	for i := 0; i < 600; i++ {
+		sk.Add(0)
+	}
+	for i := 0; i < 400; i++ {
+		sk.Add(100 + float64(i))
+	}
+	if got := sk.Quantile(0.5); got != 0 {
+		t.Errorf("median with 60%% zero mass = %v, want 0", got)
+	}
+	if got := sk.Quantile(0.95); got < 100 {
+		t.Errorf("p95 = %v, want >= 100", got)
+	}
+	if sk.Min() != 0 {
+		t.Errorf("min = %v, want 0", sk.Min())
+	}
+}
+
+func TestQuantileSketchEdgeCases(t *testing.T) {
+	sk := NewQuantileSketch(0)
+	if !math.IsNaN(sk.Quantile(0.5)) {
+		t.Error("empty sketch quantile should be NaN")
+	}
+	sk.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := sk.Quantile(q); got < 42*(1-sk.Alpha()) || got > 42*(1+sk.Alpha()) {
+			t.Errorf("single-value quantile(%v) = %v, want ~42", q, got)
+		}
+	}
+	if !math.IsNaN(sk.Quantile(-0.1)) || !math.IsNaN(sk.Quantile(1.1)) {
+		t.Error("out-of-range q should be NaN")
+	}
+	sk.Add(-5) // clamped to zero
+	if sk.Min() != 0 {
+		t.Errorf("negative input min = %v, want clamp to 0", sk.Min())
+	}
+}
+
+func TestQuantileSketchMemoryBound(t *testing.T) {
+	sk := NewQuantileSketch(0)
+	sk.maxBins = 64
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		sk.Add(math.Exp(rng.Float64()*20 - 5)) // values across ~11 decades
+	}
+	if sk.Bins() > 64 {
+		t.Errorf("bins = %d, want <= 64 after collapsing", sk.Bins())
+	}
+	if sk.N() != 100000 {
+		t.Errorf("n = %d, want 100000", sk.N())
+	}
+	// High quantiles stay accurate: collapsing only merges the low end.
+	if got := sk.Quantile(0.99); got <= 0 {
+		t.Errorf("p99 = %v, want > 0", got)
+	}
+}
+
+func TestP2QuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range []float64{0.5, 0.8, 0.95} {
+		est := NewP2Quantile(p)
+		xs := make([]float64, 0, 50000)
+		for i := 0; i < 50000; i++ {
+			x := 100 + 15*rng.NormFloat64()
+			est.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		want := exactQuantile(xs, p)
+		got := est.Value()
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("P2(p=%v) = %v, exact %v", p, got, want)
+		}
+	}
+}
+
+func TestP2QuantileSmallSample(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if !math.IsNaN(est.Value()) {
+		t.Error("empty estimator should be NaN")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		est.Add(x)
+	}
+	if got := est.Value(); got != 3 {
+		t.Errorf("small-sample median = %v, want 3", got)
+	}
+	if est.N() != 3 {
+		t.Errorf("n = %d, want 3", est.N())
+	}
+}

@@ -1,0 +1,407 @@
+package stream
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"botscope/internal/core"
+	"botscope/internal/dataset"
+	"botscope/internal/stats"
+)
+
+// ErrOutOfOrder is returned by Ingest when an attack starts before the
+// previously ingested attack. The analyzer consumes an event-time-ordered
+// feed (the monitoring service emits snapshots chronologically); feeders
+// replaying unsorted files should sort first (see cmd/botfeed -sort).
+var ErrOutOfOrder = errors.New("stream: attack starts before the previously ingested attack")
+
+// Analyzer is a thread-safe, bounded-memory online analyzer over a live
+// attack feed. One writer calls Ingest; any number of readers may call
+// Snapshot concurrently (RWMutex-guarded).
+//
+// Memory grows with the number of distinct (day, family) buckets, sketch
+// buckets (hard-capped), currently active attacks, and open collaboration
+// windows — never with the total number of ingested attacks.
+type Analyzer struct {
+	mu sync.RWMutex
+
+	n          int
+	firstStart time.Time
+	lastStart  time.Time
+
+	// Protocol / family counters (Figs 1-2, Table II).
+	byCategory map[dataset.Category]int
+	byCatFam   map[dataset.Category]map[dataset.Family]int
+
+	// Daily buckets keyed by day index from the UTC midnight of the first
+	// attack's day, mirroring core.DailyDistribution's anchoring.
+	dayAnchor time.Time
+	days      map[int]*dayBucket
+
+	// Inter-attack gaps (§III-B): exact moments + counters, sketched
+	// quantiles.
+	gaps      stats.Online
+	gapSketch *QuantileSketch
+	gapZero   int
+	gapSimult int
+
+	// Durations (§III-C).
+	durs       stats.Online
+	durSketch  *QuantileSketch
+	durUnder1m int
+	durUnder4h int
+
+	// Concurrent-load sweep (§II-B): a min-heap of active attacks' end
+	// times plus a lazily advanced time-weighted integral.
+	ends      endHeap
+	active    int
+	peak      int
+	peakTime  time.Time
+	sweepTime time.Time
+	weightSum float64 // integral of active count over time, in seconds
+	timeSum   float64
+
+	// Windowed cross-botnet collaboration detection (§V).
+	collab *collabTracker
+}
+
+type dayBucket struct {
+	count    int
+	byFamily map[dataset.Family]int
+}
+
+// New builds an empty streaming analyzer with the paper's collaboration
+// windows (60 s start window, 30 min duration window).
+func New() *Analyzer {
+	return &Analyzer{
+		byCategory: make(map[dataset.Category]int),
+		byCatFam:   make(map[dataset.Category]map[dataset.Family]int),
+		days:       make(map[int]*dayBucket),
+		gapSketch:  NewQuantileSketch(0),
+		durSketch:  NewQuantileSketch(0),
+		collab:     newCollabTracker(core.SimultaneousThreshold, core.CollabDurationWindow),
+	}
+}
+
+// Ingest folds one attack into the online state. Attacks must arrive in
+// event-time order (non-decreasing Start); records are validated like the
+// batch store does. The record is retained only inside the active-load
+// heap and open collaboration windows, both of which drain as event time
+// advances.
+func (s *Analyzer) Ingest(a *dataset.Attack) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.n > 0 && a.Start.Before(s.lastStart) {
+		return fmt.Errorf("%w: %v < %v (attack %d)", ErrOutOfOrder, a.Start, s.lastStart, a.ID)
+	}
+
+	// Counters.
+	s.byCategory[a.Category]++
+	fams := s.byCatFam[a.Category]
+	if fams == nil {
+		fams = make(map[dataset.Family]int)
+		s.byCatFam[a.Category] = fams
+	}
+	fams[a.Family]++
+
+	// Daily buckets, anchored like core.DailyDistribution.
+	if s.n == 0 {
+		s.firstStart = a.Start
+		s.dayAnchor = time.Date(a.Start.Year(), a.Start.Month(), a.Start.Day(), 0, 0, 0, 0, time.UTC)
+		s.sweepTime = a.Start
+	}
+	d := int(a.Start.Sub(s.dayAnchor).Hours() / 24)
+	db := s.days[d]
+	if db == nil {
+		db = &dayBucket{byFamily: make(map[dataset.Family]int)}
+		s.days[d] = db
+	}
+	db.count++
+	db.byFamily[a.Family]++
+
+	// Inter-attack gap.
+	if s.n > 0 {
+		gap := a.Start.Sub(s.lastStart).Seconds()
+		s.gaps.Add(gap)
+		s.gapSketch.Add(gap)
+		if gap == 0 {
+			s.gapZero++
+		}
+		if gap < core.SimultaneousThreshold.Seconds() {
+			s.gapSimult++
+		}
+	}
+
+	// Duration.
+	dur := a.Duration().Seconds()
+	s.durs.Add(dur)
+	s.durSketch.Add(dur)
+	if dur <= 60 {
+		s.durUnder1m++
+	}
+	if dur <= 4*3600 {
+		s.durUnder4h++
+	}
+
+	// Concurrent load: retire every attack that ended at or before this
+	// start (ends sort before starts at the same instant, matching the
+	// batch sweep's tie rule), then admit the new one. Zero-duration
+	// attacks never contribute to the active count, as in the batch sweep.
+	now := a.Start.UnixNano()
+	for len(s.ends) > 0 && s.ends[0] <= now {
+		e := heap.Pop(&s.ends).(int64)
+		s.advanceSweep(e)
+		s.active--
+	}
+	s.advanceSweep(now)
+	if a.End.After(a.Start) {
+		s.active++
+		heap.Push(&s.ends, a.End.UnixNano())
+		if s.active > s.peak {
+			s.peak = s.active
+			s.peakTime = a.Start
+		}
+	}
+
+	// Collaboration windows.
+	s.collab.ingest(a)
+
+	s.n++
+	s.lastStart = a.Start
+	return nil
+}
+
+// advanceSweep accumulates the active-count integral up to unix-nano t.
+func (s *Analyzer) advanceSweep(t int64) {
+	dt := time.Duration(t - s.sweepTime.UnixNano()).Seconds()
+	if dt > 0 {
+		s.weightSum += float64(s.active) * dt
+		s.timeSum += dt
+		s.sweepTime = time.Unix(0, t).UTC()
+	}
+}
+
+// Snapshot is a point-in-time view of the online state, expressed in the
+// batch result types so stream/batch parity is directly testable.
+type Snapshot struct {
+	// Ingested is the number of attacks folded in so far.
+	Ingested int
+	// FirstStart / LastStart bound the ingested event time.
+	FirstStart time.Time
+	LastStart  time.Time
+	// ActiveAttacks is the number of attacks in progress at LastStart.
+	ActiveAttacks int
+
+	// Protocols is the Fig 1 breakdown; FamilyProtocol is Table II.
+	Protocols      []core.ProtocolCount
+	FamilyProtocol []core.FamilyProtocolRow
+	// Daily is the Fig 2 distribution.
+	Daily core.DailyStats
+	// Intervals summarizes inter-attack gaps (§III-B); Median/P80/P95 come
+	// from the quantile sketch, everything else is exact.
+	Intervals core.IntervalStats
+	// Durations summarizes attack durations (§III-C), same split.
+	Durations core.DurationStats
+	// Load is the §II-B concurrent-attack load summary. Peak and PeakTime
+	// are exact; TimeWeightedMean integrates through the last ingested
+	// attack's end, matching the batch sweep at end of stream.
+	Load core.LoadStats
+	// Collaborations summarizes live §V collaboration candidates.
+	Collaborations CollabSummary
+}
+
+// Snapshot materializes the current online state. It is safe to call
+// concurrently with Ingest and returns fresh slices/maps that never alias
+// analyzer state. Unlike the batch summaries, an empty or single-attack
+// snapshot reports zero statistics rather than NaNs, keeping the result
+// JSON-encodable.
+func (s *Analyzer) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	snap := Snapshot{
+		Ingested:      s.n,
+		FirstStart:    s.firstStart,
+		LastStart:     s.lastStart,
+		ActiveAttacks: s.active,
+	}
+	if s.n == 0 {
+		return snap
+	}
+
+	snap.Protocols = s.protocolBreakdown()
+	snap.FamilyProtocol = s.familyProtocolTable()
+	snap.Daily = s.dailyStats()
+	snap.Intervals = s.intervalStats()
+	snap.Durations = s.durationStats()
+	snap.Load = s.loadStats()
+	snap.Collaborations = s.collab.snapshot()
+	return snap
+}
+
+// protocolBreakdown mirrors core.ProtocolBreakdown's ordering: count
+// descending, ties by category display order.
+func (s *Analyzer) protocolBreakdown() []core.ProtocolCount {
+	out := make([]core.ProtocolCount, 0, len(s.byCategory))
+	for _, c := range dataset.Categories {
+		if s.byCategory[c] > 0 {
+			out = append(out, core.ProtocolCount{Category: c, Count: s.byCategory[c]})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// familyProtocolTable mirrors core.FamilyProtocolTable's ordering:
+// categories in display order, families alphabetically inside each.
+func (s *Analyzer) familyProtocolTable() []core.FamilyProtocolRow {
+	var out []core.FamilyProtocolRow
+	for _, c := range dataset.Categories {
+		fams := make([]dataset.Family, 0, len(s.byCatFam[c]))
+		for f := range s.byCatFam[c] {
+			fams = append(fams, f)
+		}
+		sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+		for _, f := range fams {
+			out = append(out, core.FamilyProtocolRow{Category: c, Family: f, Count: s.byCatFam[c][f]})
+		}
+	}
+	return out
+}
+
+// dailyStats rebuilds core.DailyStats from the daily buckets with the same
+// tie rules as core.DailyDistribution (earliest peak day wins; dominant
+// family by count, ties alphabetically).
+func (s *Analyzer) dailyStats() core.DailyStats {
+	idx := make([]int, 0, len(s.days))
+	for d := range s.days {
+		idx = append(idx, d)
+	}
+	sort.Ints(idx)
+
+	st := core.DailyStats{Days: make([]core.DailyCount, 0, len(idx))}
+	total := 0
+	for _, d := range idx {
+		db := s.days[d]
+		dc := core.DailyCount{
+			Day:      s.dayAnchor.AddDate(0, 0, d),
+			Count:    db.count,
+			ByFamily: make(map[dataset.Family]int, len(db.byFamily)),
+		}
+		for f, n := range db.byFamily {
+			dc.ByFamily[f] = n
+		}
+		st.Days = append(st.Days, dc)
+		total += db.count
+		if db.count > st.Max {
+			st.Max = db.count
+			st.MaxDay = dc.Day
+			best, bestN := dataset.Family(""), 0
+			for f, n := range db.byFamily {
+				if n > bestN || (n == bestN && f < best) {
+					best, bestN = f, n
+				}
+			}
+			st.MaxDominantFamily = best
+		}
+	}
+	if len(idx) > 0 {
+		span := idx[len(idx)-1] - idx[0] + 1
+		st.Average = float64(total) / float64(span)
+	}
+	return st
+}
+
+// summary assembles a stats.Summary from exact online moments plus
+// sketched quantiles, with zeros instead of NaNs for tiny samples.
+func sketchSummary(o *stats.Online, sk *QuantileSketch) stats.Summary {
+	if o.N() == 0 {
+		return stats.Summary{}
+	}
+	sum := stats.Summary{
+		N:      o.N(),
+		Mean:   o.Mean(),
+		Min:    o.Min(),
+		Max:    o.Max(),
+		Median: sk.Quantile(0.5),
+		P80:    sk.Quantile(0.8),
+		P95:    sk.Quantile(0.95),
+	}
+	if o.N() >= 2 {
+		sum.StdDev = o.StdDev()
+	}
+	return sum
+}
+
+func (s *Analyzer) intervalStats() core.IntervalStats {
+	st := core.IntervalStats{Summary: sketchSummary(&s.gaps, s.gapSketch)}
+	if n := s.gaps.N(); n > 0 {
+		st.ExactZeroFrac = float64(s.gapZero) / float64(n)
+		st.SimultaneousFrac = float64(s.gapSimult) / float64(n)
+	}
+	return st
+}
+
+func (s *Analyzer) durationStats() core.DurationStats {
+	st := core.DurationStats{Summary: sketchSummary(&s.durs, s.durSketch)}
+	if n := s.durs.N(); n > 0 {
+		st.FracUnder4h = float64(s.durUnder4h) / float64(n)
+		st.FracUnder60s = float64(s.durUnder1m) / float64(n)
+	}
+	return st
+}
+
+// loadStats finishes the time-weighted integral over a copy of the active
+// heap (draining the still-active attacks to their ends), so at end of
+// stream TimeWeightedMean matches the batch sweep exactly.
+func (s *Analyzer) loadStats() core.LoadStats {
+	st := core.LoadStats{Peak: s.peak, PeakTime: s.peakTime}
+	weight, total := s.weightSum, s.timeSum
+	if len(s.ends) > 0 {
+		rest := make(endHeap, len(s.ends))
+		copy(rest, s.ends)
+		active := s.active
+		sweep := s.sweepTime.UnixNano()
+		for len(rest) > 0 {
+			e := heap.Pop(&rest).(int64)
+			dt := time.Duration(e - sweep).Seconds()
+			if dt > 0 {
+				weight += float64(active) * dt
+				total += dt
+				sweep = e
+			}
+			active--
+		}
+	}
+	if total > 0 {
+		st.TimeWeightedMean = weight / total
+	}
+	if math.IsNaN(st.TimeWeightedMean) {
+		st.TimeWeightedMean = 0
+	}
+	return st
+}
+
+// endHeap is a min-heap of attack end times in unix nanoseconds.
+type endHeap []int64
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *endHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
