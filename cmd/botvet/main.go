@@ -1,0 +1,29 @@
+// Botvet is the project-specific static-analysis gate. It bundles the
+// botscope analyzers — nodeterm, lockguard, snapshotalias, floateq — into
+// a unitchecker binary that `go vet` drives over every package:
+//
+//	go build -o bin/botvet ./cmd/botvet
+//	go vet -vettool=$(pwd)/bin/botvet ./...
+//
+// `make botvet` (and `make verify`) wire this up. Each analyzer encodes an
+// invariant the paper reproduction depends on; see DESIGN.md for what they
+// enforce and why. Per-line exceptions use "//botvet:allow <analyzer>".
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"botscope/internal/analysis/floateq"
+	"botscope/internal/analysis/lockguard"
+	"botscope/internal/analysis/nodeterm"
+	"botscope/internal/analysis/snapshotalias"
+)
+
+func main() {
+	unitchecker.Main(
+		floateq.Analyzer,
+		lockguard.Analyzer,
+		nodeterm.Analyzer,
+		snapshotalias.Analyzer,
+	)
+}

@@ -1,0 +1,200 @@
+// Package atest runs a go/analysis analyzer over a testdata package and
+// checks its diagnostics against // want comments, mirroring the core of
+// golang.org/x/tools/go/analysis/analysistest. The real analysistest
+// drives go/packages (and with it the go command and network-facing
+// module machinery); this harness instead parses and type-checks the
+// testdata with the standard library's source importer, which resolves
+// stdlib imports straight from GOROOT. Testdata packages may therefore
+// import only the standard library — plenty for seeding analyzer
+// violations.
+//
+// Expectations use analysistest syntax on the offending line:
+//
+//	s.count++ // want `access to count .*without holding`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that
+// must match one diagnostic reported on that line; diagnostics with no
+// matching want (and wants with no matching diagnostic) fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the Go package in dir (rooted at the analyzer's testdata,
+// typically "testdata/<case>"), assigns it the import path pkgPath — which
+// matters to analyzers that scope themselves by package path — and runs a
+// over it, comparing diagnostics with // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, dir)
+	if len(files) == 0 {
+		t.Fatalf("atest: no .go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: type-checking %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]any{}
+	var exec func(an *analysis.Analyzer) error
+	exec = func(an *analysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultsFor(results, an.Requires),
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if an == a { // prerequisite analyzers stay silent
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := exec(a); err != nil {
+		t.Fatalf("atest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	checkWants(t, fset, files, diags)
+}
+
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("atest: parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+func resultsFor(all map[*analysis.Analyzer]any, reqs []*analysis.Analyzer) map[*analysis.Analyzer]any {
+	out := make(map[*analysis.Analyzer]any, len(reqs))
+	for _, r := range reqs {
+		out[r] = all[r]
+	}
+	return out
+}
+
+// wantRe pulls the quoted or backquoted regexps out of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("atest: bad want regexp %q at %s: %v", raw, key, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("atest: unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("atest: missing diagnostic at %s: want match for %q", k, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/floateq"
+)
+
+func TestScoped(t *testing.T) {
+	atest.Run(t, "testdata/scoped", floateq.Analyzer, "botscope/internal/stats")
+}
+
+func TestUnscoped(t *testing.T) {
+	atest.Run(t, "testdata/unscoped", floateq.Analyzer, "example.com/other")
+}

@@ -1,0 +1,7 @@
+// Package other replays the float comparisons in a package floateq does
+// not cover: none may be reported.
+package other
+
+func compare(a, b float64) bool {
+	return a == b
+}

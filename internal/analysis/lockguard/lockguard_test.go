@@ -1,0 +1,16 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/lockguard"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", lockguard.Analyzer, "example.com/basic")
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	atest.Run(t, "testdata/skip", lockguard.Analyzer, "example.com/skip")
+}

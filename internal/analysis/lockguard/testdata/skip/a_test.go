@@ -1,0 +1,14 @@
+// Package skip shows that _test.go files are exempt: tests poke
+// single-goroutine state directly.
+package skip
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func peek(b *box) int {
+	return b.v
+}

@@ -1,0 +1,16 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/nodeterm"
+)
+
+func TestScoped(t *testing.T) {
+	atest.Run(t, "testdata/scoped", nodeterm.Analyzer, "botscope/internal/synth")
+}
+
+func TestUnscoped(t *testing.T) {
+	atest.Run(t, "testdata/unscoped", nodeterm.Analyzer, "example.com/outside")
+}

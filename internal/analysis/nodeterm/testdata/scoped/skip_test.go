@@ -1,0 +1,9 @@
+package synth
+
+import "time"
+
+// Test files are exempt: deterministic-clock rules apply to measurement
+// code, not to test scaffolding.
+func testOnlyStamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,24 @@
+// Package outside replays the scoped violations in a package nodeterm
+// does not cover: none of them may be reported.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

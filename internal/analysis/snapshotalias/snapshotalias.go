@@ -1,0 +1,165 @@
+// Package snapshotalias defines a botvet analyzer that keeps concurrent
+// snapshots alias-free. An exported method that holds only a read lock
+// (calls <field>.RLock and never <field>.Lock on a sync.RWMutex field of
+// its receiver) must not let a map- or slice-typed receiver field escape
+// by reference: once the RLock is released a concurrent writer mutates the
+// shared backing store under the caller's feet. Escapes are bare uses of
+// the field — returned directly, placed in a composite literal, or
+// assigned to another variable. Reading through the field (indexing,
+// ranging, len/cap, passing to append/copy as a source, method calls on
+// it) is fine: those consume the data without retaining the reference.
+//
+// Intentional exceptions carry "//botvet:allow snapshotalias".
+package snapshotalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/vetutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "snapshotalias",
+	Doc:      "flag exported methods returning internal map/slice fields by reference while holding only an RLock",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || decl.Recv == nil || !decl.Name.IsExported() {
+			return
+		}
+		if vetutil.IsTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		recv := vetutil.ReceiverObj(pass.TypesInfo, decl)
+		if recv == nil {
+			return
+		}
+		rlocked, wlocked := lockCalls(pass, decl.Body, recv)
+		if !rlocked || wlocked {
+			return
+		}
+		checkEscapes(pass, decl, recv)
+	})
+	return nil, nil
+}
+
+// lockCalls reports whether the body calls RLock (and/or Lock) on a
+// sync.RWMutex field of the receiver.
+func lockCalls(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) (rlocked, wlocked bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Lock" && name != "RLock" {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || !vetutil.IsRWMutex(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		if vetutil.SelectorBase(pass.TypesInfo, inner.X) != recv {
+			return true
+		}
+		if name == "RLock" {
+			rlocked = true
+		} else {
+			wlocked = true
+		}
+		return true
+	})
+	return rlocked, wlocked
+}
+
+// checkEscapes reports bare, reference-retaining uses of the receiver's
+// map/slice fields within the method body.
+func checkEscapes(pass *analysis.Pass, decl *ast.FuncDecl, recv types.Object) {
+	// consumed marks selector expressions that appear in a position that
+	// reads through the reference instead of retaining it.
+	consumed := map[*ast.SelectorExpr]bool{}
+	markSel := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			consumed[sel] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			markSel(x.X)
+		case *ast.SliceExpr:
+			// A reslice still aliases the backing array; not consumed.
+		case *ast.RangeStmt:
+			markSel(x.X)
+		case *ast.CallExpr:
+			// len/cap/delete/clear consume; append/copy consume their
+			// *source* operands (the destination is fresh storage the
+			// caller owns). A method call on the field consumes it too.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				markSel(sel.X) // receiver of a method call
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+					switch b.Name() {
+					case "len", "cap", "delete", "clear":
+						for _, a := range x.Args {
+							markSel(a)
+						}
+					case "append":
+						for _, a := range x.Args[1:] {
+							markSel(a)
+						}
+					case "copy":
+						if len(x.Args) == 2 {
+							markSel(x.Args[1])
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Writing *into* the field (s.f[k] = v) is not an escape; the
+			// IndexExpr case already consumes it.
+		}
+		return true
+	})
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || consumed[sel] {
+			return true
+		}
+		field, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !field.IsField() {
+			return true
+		}
+		if vetutil.SelectorBase(pass.TypesInfo, sel.X) != recv {
+			return true
+		}
+		switch field.Type().Underlying().(type) {
+		case *types.Map, *types.Slice:
+		default:
+			return true
+		}
+		if vetutil.Suppressed(pass, sel.Pos(), "snapshotalias") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s (reference type) escapes %s while only an RLock is held; deep-copy it before returning",
+			recv.Name(), field.Name(), decl.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package snapshotalias_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/snapshotalias"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", snapshotalias.Analyzer, "example.com/basic")
+}

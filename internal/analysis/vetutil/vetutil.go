@@ -1,0 +1,127 @@
+// Package vetutil holds the shared plumbing of the botvet analyzers:
+// package scoping, test-file detection, mutex-type checks, and the
+// //botvet:allow suppression comment.
+package vetutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InScope reports whether pkgPath is one of paths or lies beneath one of
+// them ("a/b" covers "a/b" and "a/b/c", never "a/bc").
+func InScope(pkgPath string, paths []string) bool {
+	for _, p := range paths {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// SplitList parses a comma-separated flag value into its non-empty,
+// space-trimmed elements.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsTestFile reports whether pos sits in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// Suppressed reports whether the source line holding pos, or the line
+// directly above it, carries a "//botvet:allow <name>" comment. It is the
+// single escape hatch every botvet analyzer honours, so intentional
+// exceptions are greppable.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	pp := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != pp.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl != pp.Line && cl != pp.Line-1 {
+					continue
+				}
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if rest, ok := strings.CutPrefix(text, "botvet:allow"); ok {
+					for _, n := range strings.Fields(rest) {
+						if n == name {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsMutex reports whether t (or the type it points to) is sync.Mutex or
+// sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// IsRWMutex reports whether t (or the type it points to) is sync.RWMutex.
+func IsRWMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "RWMutex"
+}
+
+// ReceiverObj resolves the object of a method's receiver variable, or nil.
+func ReceiverObj(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// SelectorBase peels a selector chain x.a.b down to its root identifier's
+// object ("x"), or nil when the expression is not rooted in an identifier.
+func SelectorBase(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
