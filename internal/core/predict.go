@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"botscope/internal/dataset"
 	"botscope/internal/stats"
@@ -147,8 +148,15 @@ func PredictNextAttacks(s *dataset.Store, minAttacks int) []NextAttackPrediction
 	if minAttacks < 4 {
 		minAttacks = 4
 	}
+	intervals := TargetIntervals(s, minAttacks)
+	targets := make([]string, 0, len(intervals))
+	for target := range intervals {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
 	var out []NextAttackPrediction
-	for target, gaps := range TargetIntervals(s, minAttacks) {
+	for _, target := range targets {
+		gaps := intervals[target]
 		if len(gaps) < 3 {
 			continue
 		}
