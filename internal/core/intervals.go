@@ -58,7 +58,7 @@ func AnalyzeIntervals(gaps []float64) (IntervalStats, error) {
 	st := IntervalStats{Summary: stats.Summarize(gaps)}
 	zero, simult := 0, 0
 	for _, g := range gaps {
-		if g == 0 {
+		if stats.IsZero(g) {
 			zero++
 		}
 		if g < SimultaneousThreshold.Seconds() {

@@ -92,7 +92,7 @@ func TransferPredict(s *dataset.Store, source, target dataset.Family, order time
 		TransferSimilarity: transferSim,
 		NativeSimilarity:   nativeSim,
 	}
-	if nativeSim != 0 {
+	if !stats.IsZero(nativeSim) {
 		res.Retention = transferSim / nativeSim
 	}
 	return res, nil

@@ -32,7 +32,7 @@ func ACF(xs []float64, maxLag int) ([]float64, error) {
 		return nil, fmt.Errorf("stats: ACF lag %d out of range for series of length %d", maxLag, len(xs))
 	}
 	c0 := Autocovariance(xs, 0)
-	if c0 == 0 {
+	if IsZero(c0) {
 		return nil, fmt.Errorf("stats: ACF undefined for constant series")
 	}
 	out := make([]float64, maxLag+1)

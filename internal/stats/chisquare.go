@@ -67,7 +67,7 @@ func upperIncompleteGammaRegularized(a, x float64) float64 {
 	switch {
 	case x < 0 || a <= 0:
 		return math.NaN()
-	case x == 0:
+	case IsZero(x):
 		return 1
 	case x < a+1:
 		return 1 - lowerGammaSeries(a, x)
@@ -139,9 +139,9 @@ func UniformityScore(counts []int) (float64, error) {
 	for _, c := range counts {
 		total += c
 	}
-	maxStat := float64(total) * float64(len(counts)-1)
-	if maxStat == 0 {
+	if total == 0 || len(counts) < 2 {
 		return 0, nil
 	}
+	maxStat := float64(total) * float64(len(counts)-1)
 	return math.Sqrt(res.Statistic / maxStat), nil
 }

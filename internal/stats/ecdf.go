@@ -97,7 +97,7 @@ func (e *ECDF) LogPoints(n int) []Point {
 		return nil
 	}
 	lo, hi := e.sorted[idx], e.sorted[len(e.sorted)-1]
-	if lo == hi {
+	if IsZero(hi - lo) {
 		return []Point{{X: hi, P: 1}}
 	}
 	logLo, logHi := math.Log(lo), math.Log(hi)

@@ -22,7 +22,7 @@ func CosineSimilarity(a, b []float64) (float64, error) {
 		na += a[i] * a[i]
 		nb += b[i] * b[i]
 	}
-	if na == 0 || nb == 0 {
+	if IsZero(na) || IsZero(nb) {
 		return 0, fmt.Errorf("stats: cosine similarity undefined for zero vector")
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
@@ -46,7 +46,7 @@ func PearsonCorrelation(a, b []float64) (float64, error) {
 		va += da * da
 		vb += db * db
 	}
-	if va == 0 || vb == 0 {
+	if IsZero(va) || IsZero(vb) {
 		return 0, fmt.Errorf("stats: correlation undefined for constant sample")
 	}
 	return cov / math.Sqrt(va*vb), nil
