@@ -12,6 +12,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"botscope/internal/core"
@@ -34,6 +35,14 @@ type Server struct {
 	workload  *experiments.Workload
 	live      *stream.Analyzer
 	mux       *http.ServeMux
+
+	// Ingest telemetry: how the live feed is being driven, independent of
+	// the event-time analytics the stream analyzer owns.
+	statsMu        sync.Mutex
+	ingestRequests int       // guarded by statsMu
+	ingestRecords  int       // guarded by statsMu
+	ingestRejected int       // guarded by statsMu
+	lastIngest     time.Time // guarded by statsMu
 }
 
 // New builds a server for the workload; scale feeds the experiment layer's
@@ -78,6 +87,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/live/durations", s.handleLiveDurations)
 	s.mux.HandleFunc("GET /api/live/load", s.handleLiveLoad)
 	s.mux.HandleFunc("GET /api/live/collaborations", s.handleLiveCollaborations)
+	s.mux.HandleFunc("GET /api/live/ingeststats", s.handleIngestStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok"))
@@ -333,6 +343,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ingested++
 		return nil
 	})
+	s.recordIngest(ingested, err != nil)
 	total := s.live.Snapshot().Ingested
 	if err != nil {
 		w.Header().Set("Content-Type", "application/json")
@@ -345,6 +356,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"ingested": ingested, "total": total})
+}
+
+// recordIngest folds one POST /api/ingest outcome into the telemetry
+// counters.
+func (s *Server) recordIngest(records int, rejected bool) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.ingestRequests++
+	s.ingestRecords += records
+	if rejected {
+		s.ingestRejected++
+	}
+	s.lastIngest = time.Now()
+}
+
+// handleIngestStats reports feed-driving telemetry: requests served,
+// records accepted, rejected requests, and the wall-clock time of the last
+// ingest call (zero until the first one).
+func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
+	s.statsMu.Lock()
+	requests, records, rejected, last := s.ingestRequests, s.ingestRecords, s.ingestRejected, s.lastIngest
+	s.statsMu.Unlock()
+	out := struct {
+		Requests   int    `json:"requests"`
+		Records    int    `json:"records"`
+		Rejected   int    `json:"rejected"`
+		LastIngest string `json:"last_ingest,omitempty"`
+	}{Requests: requests, Records: records, Rejected: rejected}
+	if !last.IsZero() {
+		out.LastIngest = last.UTC().Format(time.RFC3339)
+	}
+	writeJSON(w, out)
 }
 
 // liveSnapshot fetches the current snapshot, 422-ing when nothing has been

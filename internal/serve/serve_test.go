@@ -382,3 +382,33 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Errorf("POST /api/summary = %d, want 405", rec.Code)
 	}
 }
+
+func TestIngestStatsEndpoint(t *testing.T) {
+	s, attacks := liveServer(t)
+
+	var st struct {
+		Requests   int    `json:"requests"`
+		Records    int    `json:"records"`
+		Rejected   int    `json:"rejected"`
+		LastIngest string `json:"last_ingest"`
+	}
+	get(t, s, "/api/live/ingeststats", http.StatusOK, &st)
+	if st.Requests != 0 || st.Records != 0 || st.LastIngest != "" {
+		t.Fatalf("pre-ingest stats = %+v, want zeros", st)
+	}
+
+	var buf bytes.Buffer
+	if err := dataset.WriteJSONL(&buf, attacks[:3]); err != nil {
+		t.Fatal(err)
+	}
+	post(t, s, "/api/ingest", buf.String(), http.StatusOK, nil)
+	post(t, s, "/api/ingest", "not json\n", http.StatusUnprocessableEntity, nil)
+
+	get(t, s, "/api/live/ingeststats", http.StatusOK, &st)
+	if st.Requests != 2 || st.Records != 3 || st.Rejected != 1 {
+		t.Fatalf("post-ingest stats = %+v, want requests=2 records=3 rejected=1", st)
+	}
+	if _, err := time.Parse(time.RFC3339, st.LastIngest); err != nil {
+		t.Fatalf("last_ingest %q not RFC3339: %v", st.LastIngest, err)
+	}
+}

@@ -30,44 +30,44 @@ var ErrOutOfOrder = errors.New("stream: attack starts before the previously inge
 type Analyzer struct {
 	mu sync.RWMutex
 
-	n          int
-	firstStart time.Time
-	lastStart  time.Time
+	n          int       // guarded by mu
+	firstStart time.Time // guarded by mu
+	lastStart  time.Time // guarded by mu
 
 	// Protocol / family counters (Figs 1-2, Table II).
-	byCategory map[dataset.Category]int
-	byCatFam   map[dataset.Category]map[dataset.Family]int
+	byCategory map[dataset.Category]int                    // guarded by mu
+	byCatFam   map[dataset.Category]map[dataset.Family]int // guarded by mu
 
 	// Daily buckets keyed by day index from the UTC midnight of the first
 	// attack's day, mirroring core.DailyDistribution's anchoring.
-	dayAnchor time.Time
-	days      map[int]*dayBucket
+	dayAnchor time.Time          // guarded by mu
+	days      map[int]*dayBucket // guarded by mu
 
 	// Inter-attack gaps (§III-B): exact moments + counters, sketched
 	// quantiles.
-	gaps      stats.Online
-	gapSketch *QuantileSketch
-	gapZero   int
-	gapSimult int
+	gaps      stats.Online    // guarded by mu
+	gapSketch *QuantileSketch // guarded by mu
+	gapZero   int             // guarded by mu
+	gapSimult int             // guarded by mu
 
 	// Durations (§III-C).
-	durs       stats.Online
-	durSketch  *QuantileSketch
-	durUnder1m int
-	durUnder4h int
+	durs       stats.Online    // guarded by mu
+	durSketch  *QuantileSketch // guarded by mu
+	durUnder1m int             // guarded by mu
+	durUnder4h int             // guarded by mu
 
 	// Concurrent-load sweep (§II-B): a min-heap of active attacks' end
 	// times plus a lazily advanced time-weighted integral.
-	ends      endHeap
-	active    int
-	peak      int
-	peakTime  time.Time
-	sweepTime time.Time
-	weightSum float64 // integral of active count over time, in seconds
-	timeSum   float64
+	ends      endHeap   // guarded by mu
+	active    int       // guarded by mu
+	peak      int       // guarded by mu
+	peakTime  time.Time // guarded by mu
+	sweepTime time.Time // guarded by mu
+	weightSum float64   // guarded by mu; integral of active count over time, in seconds
+	timeSum   float64   // guarded by mu
 
 	// Windowed cross-botnet collaboration detection (§V).
-	collab *collabTracker
+	collab *collabTracker // guarded by mu
 }
 
 type dayBucket struct {
@@ -133,7 +133,7 @@ func (s *Analyzer) Ingest(a *dataset.Attack) error {
 		gap := a.Start.Sub(s.lastStart).Seconds()
 		s.gaps.Add(gap)
 		s.gapSketch.Add(gap)
-		if gap == 0 {
+		if a.Start.Equal(s.lastStart) {
 			s.gapZero++
 		}
 		if gap < core.SimultaneousThreshold.Seconds() {
@@ -181,6 +181,8 @@ func (s *Analyzer) Ingest(a *dataset.Attack) error {
 }
 
 // advanceSweep accumulates the active-count integral up to unix-nano t.
+//
+//lockguard:held mu
 func (s *Analyzer) advanceSweep(t int64) {
 	dt := time.Duration(t - s.sweepTime.UnixNano()).Seconds()
 	if dt > 0 {
@@ -250,6 +252,8 @@ func (s *Analyzer) Snapshot() Snapshot {
 
 // protocolBreakdown mirrors core.ProtocolBreakdown's ordering: count
 // descending, ties by category display order.
+//
+//lockguard:held mu
 func (s *Analyzer) protocolBreakdown() []core.ProtocolCount {
 	out := make([]core.ProtocolCount, 0, len(s.byCategory))
 	for _, c := range dataset.Categories {
@@ -263,6 +267,8 @@ func (s *Analyzer) protocolBreakdown() []core.ProtocolCount {
 
 // familyProtocolTable mirrors core.FamilyProtocolTable's ordering:
 // categories in display order, families alphabetically inside each.
+//
+//lockguard:held mu
 func (s *Analyzer) familyProtocolTable() []core.FamilyProtocolRow {
 	var out []core.FamilyProtocolRow
 	for _, c := range dataset.Categories {
@@ -281,6 +287,8 @@ func (s *Analyzer) familyProtocolTable() []core.FamilyProtocolRow {
 // dailyStats rebuilds core.DailyStats from the daily buckets with the same
 // tie rules as core.DailyDistribution (earliest peak day wins; dominant
 // family by count, ties alphabetically).
+//
+//lockguard:held mu
 func (s *Analyzer) dailyStats() core.DailyStats {
 	idx := make([]int, 0, len(s.days))
 	for d := range s.days {
@@ -342,6 +350,7 @@ func sketchSummary(o *stats.Online, sk *QuantileSketch) stats.Summary {
 	return sum
 }
 
+//lockguard:held mu
 func (s *Analyzer) intervalStats() core.IntervalStats {
 	st := core.IntervalStats{Summary: sketchSummary(&s.gaps, s.gapSketch)}
 	if n := s.gaps.N(); n > 0 {
@@ -351,6 +360,7 @@ func (s *Analyzer) intervalStats() core.IntervalStats {
 	return st
 }
 
+//lockguard:held mu
 func (s *Analyzer) durationStats() core.DurationStats {
 	st := core.DurationStats{Summary: sketchSummary(&s.durs, s.durSketch)}
 	if n := s.durs.N(); n > 0 {
@@ -363,6 +373,8 @@ func (s *Analyzer) durationStats() core.DurationStats {
 // loadStats finishes the time-weighted integral over a copy of the active
 // heap (draining the still-active attacks to their ends), so at end of
 // stream TimeWeightedMean matches the batch sweep exactly.
+//
+//lockguard:held mu
 func (s *Analyzer) loadStats() core.LoadStats {
 	st := core.LoadStats{Peak: s.peak, PeakTime: s.peakTime}
 	weight, total := s.weightSum, s.timeSum
