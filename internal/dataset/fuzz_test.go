@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedAttacks returns a small deterministic corpus of encoded datasets
+// so the fuzzers start from well-formed inputs and mutate outward.
+func fuzzSeedAttacks(t testing.TB) []*Attack {
+	t.Helper()
+	attacks, err := ReadCSV(strings.NewReader(sampleCSV(t)))
+	if err != nil {
+		t.Fatalf("seed corpus: %v", err)
+	}
+	return attacks
+}
+
+// sampleCSV builds a tiny valid CSV document covering the corner cases the
+// decoder branches on: empty bot-IP column, IPv6 targets, quoted org names.
+func sampleCSV(t testing.TB) string {
+	t.Helper()
+	return strings.Join([]string{
+		"ddos_id,botnet_id,family,category,target_ip,timestamp,end_time,botnet_ips,asn,cc,city,org,latitude,longitude",
+		`1,7,optima,HTTP,192.0.2.1,2012-08-01T00:00:00Z,2012-08-01T01:00:00Z,198.51.100.1;198.51.100.2,64500,US,Seattle,"Example, Inc",47.600000,-122.300000`,
+		"2,9,dirtjumper,SYN,2001:db8::1,2012-08-02T00:00:00Z,2012-08-02T00:05:00Z,,64501,CN,Beijing,ExampleNet,39.900000,116.400000",
+	}, "\n") + "\n"
+}
+
+// FuzzDecodeCSV asserts DecodeCSV never panics on arbitrary input, and that
+// any input it accepts survives a write/decode round trip.
+func FuzzDecodeCSV(f *testing.F) {
+	f.Add(sampleCSV(f))
+	f.Add("")
+	f.Add("ddos_id,botnet_id\n1,2\n")
+	f.Add("\xff\xfe\x00garbage")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fuzzSeedAttacks(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var decoded []*Attack
+		err := DecodeCSV(strings.NewReader(data), func(a *Attack) error {
+			decoded = append(decoded, a)
+			return nil
+		})
+		if err != nil {
+			return // malformed input rejected cleanly; nothing more to check
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, decoded); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		var again []*Attack
+		if err := DecodeCSV(&out, func(a *Attack) error {
+			again = append(again, a)
+			return nil
+		}); err != nil {
+			t.Fatalf("decode of re-encoded output failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip changed attack count: %d -> %d", len(decoded), len(again))
+		}
+	})
+}
+
+// FuzzDecodeJSONL asserts DecodeJSONL never panics on arbitrary input, and
+// that accepted input survives a write/decode round trip.
+func FuzzDecodeJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fuzzSeedAttacks(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}\n")
+	f.Add("{\"ddos_id\":1}\nnot json\n")
+	f.Add("null\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		var decoded []*Attack
+		err := DecodeJSONL(strings.NewReader(data), func(a *Attack) error {
+			decoded = append(decoded, a)
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, decoded); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		var again []*Attack
+		if err := DecodeJSONL(&out, func(a *Attack) error {
+			again = append(again, a)
+			return nil
+		}); err != nil {
+			t.Fatalf("decode of re-encoded output failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip changed attack count: %d -> %d", len(decoded), len(again))
+		}
+	})
+}
