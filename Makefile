@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build test vet race verify bench bench-stream report fmt
+.PHONY: build test vet botvet race verify bench bench-stream report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -11,13 +12,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# botvet runs the project-specific analyzers (nodeterm, lockguard,
+# snapshotalias, floateq) over every package via go vet's -vettool hook.
+botvet:
+	$(GO) build -o bin/botvet ./cmd/botvet
+	$(GO) vet -vettool=$(abspath bin/botvet) ./...
+
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate.
+# verify is the full pre-merge gate: build, stock vet, project analyzers,
+# formatting, and the race-enabled test suite.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) build -o bin/botvet ./cmd/botvet
+	$(GO) vet -vettool=$(abspath bin/botvet) ./...
+	@fmtout=$$(gofmt -l . | grep -v '^vendor/' || true); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
 	$(GO) test -race ./...
 
 bench:
@@ -27,8 +41,19 @@ bench:
 bench-stream:
 	$(GO) test -bench='BenchmarkStream(Ingest|Snapshot)' -benchmem -run=^$$
 
+# fuzz smoke-runs each dataset decoder fuzzer for FUZZTIME.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCSV -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeJSONL -fuzztime=$(FUZZTIME) ./internal/dataset/
+
 report:
 	$(GO) run ./cmd/botreport -scale 0.2
 
 fmt:
-	gofmt -l -w .
+	gofmt -l -w cmd examples internal *.go
+
+fmt-check:
+	@fmtout=$$(gofmt -l . | grep -v '^vendor/' || true); \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
