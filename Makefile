@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet race verify bench bench-stream report fmt fmt-check fuzz
+.PHONY: build test vet botvet race verify bench bench-smoke bench-record bench-stream report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,20 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# bench-smoke compiles and single-shots every benchmark so they cannot
+# bit-rot; -short skips the fixed-scale (scale 1/10) kernel benchmarks.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -short -run=^$$
+
+# bench-record runs the trajectory harness and appends the next
+# BENCH_<n>.json. BENCH_SCALE=10 BENCH_BASELINE=BENCH_0.json make bench-record
+BENCH_SCALE ?= 1
+BENCH_BASELINE ?=
+bench-record:
+	$(GO) run ./cmd/botbench -scale $(BENCH_SCALE) \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 # bench-stream records streaming ingest throughput (attacks/sec).
 bench-stream:

@@ -1,6 +1,7 @@
 package botscope
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
@@ -367,5 +368,81 @@ func BenchmarkDispersion(b *testing.B) {
 		if _, ok := geo.Dispersion(pts); !ok {
 			b.Fatal("empty formation")
 		}
+	}
+}
+
+// --- Kernel benchmarks at fixed scales ----------------------------------
+//
+// BenchmarkNewStore and BenchmarkDetectCollaborations pin the two new data-
+// plane kernels (index construction, sharded collab detection) at scale 1
+// and scale 10 so the BENCH_*.json trajectory tracks them. The scale-1
+// variants skip under -short (they generate a paper-size workload once);
+// the scale-10 variants only run when BOTSCOPE_BENCH_LARGE is set.
+
+var (
+	benchFixedMu  sync.Mutex
+	benchFixedRaw = map[float64][3]any{}
+)
+
+// benchRawAt generates (and caches) the raw records of a fixed-scale
+// workload for store-construction benchmarks.
+func benchRawAt(b *testing.B, scale float64) ([]*Attack, []*Botnet, []*Bot) {
+	b.Helper()
+	benchFixedMu.Lock()
+	defer benchFixedMu.Unlock()
+	if raw, ok := benchFixedRaw[scale]; ok {
+		return raw[0].([]*Attack), raw[1].([]*Botnet), raw[2].([]*Bot)
+	}
+	attacks, botnets, bots, err := GenerateRaw(GenerateConfig{Seed: 1, Scale: scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFixedRaw[scale] = [3]any{attacks, botnets, bots}
+	return attacks, botnets, bots
+}
+
+// gateFixedScale applies the skip policy described above.
+func gateFixedScale(b *testing.B, scale float64) {
+	b.Helper()
+	if scale >= 10 && os.Getenv("BOTSCOPE_BENCH_LARGE") == "" {
+		b.Skip("set BOTSCOPE_BENCH_LARGE=1 to run scale-10 benchmarks")
+	}
+	if testing.Short() {
+		b.Skip("fixed-scale benchmark skipped in -short mode")
+	}
+}
+
+func BenchmarkNewStore(b *testing.B) {
+	for _, scale := range []float64{1, 10} {
+		b.Run(fmt.Sprintf("scale%g", scale), func(b *testing.B) {
+			gateFixedScale(b, scale)
+			attacks, botnets, bots := benchRawAt(b, scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewStore(attacks, botnets, bots); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDetectCollaborations(b *testing.B) {
+	for _, scale := range []float64{1, 10} {
+		b.Run(fmt.Sprintf("scale%g", scale), func(b *testing.B) {
+			gateFixedScale(b, scale)
+			attacks, botnets, bots := benchRawAt(b, scale)
+			store, err := NewStore(attacks, botnets, bots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.Targets() // build the target index outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if n := len(core.DetectCollaborations(store)); n == 0 {
+					b.Fatal("no collaborations detected")
+				}
+			}
+		})
 	}
 }

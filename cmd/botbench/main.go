@@ -1,0 +1,247 @@
+// Command botbench records the performance trajectory of the data plane.
+//
+// It times each pipeline phase — generation, store construction, index
+// build, collaboration detection, and the full experiment suite — and
+// appends the measurements to the repository's BENCH_<n>.json sequence.
+// Passing -baseline with an earlier BENCH file computes per-phase speedups
+// against it, so a single committed file documents a before/after.
+//
+// Usage:
+//
+//	botbench -scale 1                        # measure, write BENCH_<n>.json
+//	botbench -scale 10 -baseline BENCH_0.json
+//	botbench -scale 0.1 -out /tmp/probe.json # explicit output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+
+	"botscope"
+	"botscope/internal/core"
+	"botscope/internal/experiments"
+)
+
+// Phase is one timed pipeline stage.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Detail  string  `json:"detail,omitempty"`
+	// SpeedupVsBaseline is baseline-seconds / seconds for the phase with the
+	// same name in the -baseline file, when one was given and matches.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Report is the schema of a BENCH_<n>.json file.
+type Report struct {
+	Schema      string  `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	Commit      string  `json:"commit,omitempty"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Note        string  `json:"note,omitempty"`
+	// Baseline names the BENCH file the speedup columns compare against.
+	Baseline    string  `json:"baseline,omitempty"`
+	Phases      []Phase `json:"phases"`
+	Experiments []Phase `json:"experiments,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "botbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("botbench", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "generation seed")
+		scale    = fs.Float64("scale", 1.0, "workload scale; 1.0 = paper size")
+		workers  = fs.Int("workers", 0, "worker count for parallel phases (0 = all cores)")
+		dir      = fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+		out      = fs.String("out", "", "explicit output path (overrides auto-numbering)")
+		baseline = fs.String("baseline", "", "earlier BENCH_*.json to compute speedups against")
+		note     = fs.String("note", "", "free-form note recorded in the report")
+		commit   = fs.String("commit", "", "VCS revision recorded in the report")
+		skipAll  = fs.Bool("skip-experiments", false, "skip the per-experiment RunAll phase")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := &Report{
+		Schema:      "botscope-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Commit:      *commit,
+		Scale:       *scale,
+		Seed:        *seed,
+		Workers:     *workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        *note,
+	}
+
+	timed := func(name, detail string, f func() error) error {
+		start := time.Now()
+		err := f()
+		sec := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Phases = append(rep.Phases, Phase{Name: name, Seconds: sec, Detail: detail})
+		fmt.Fprintf(stdout, "%-16s %10.3fs  %s\n", name, sec, detail)
+		return nil
+	}
+
+	var (
+		attacks []*botscope.Attack
+		botnets []*botscope.Botnet
+		bots    []*botscope.Bot
+		store   *botscope.Store
+		w       *experiments.Workload
+	)
+	if err := timed("generate", fmt.Sprintf("seed %d scale %g workers %d", *seed, *scale, *workers), func() error {
+		var err error
+		attacks, botnets, bots, err = botscope.GenerateRaw(botscope.GenerateConfig{
+			Seed: *seed, Scale: *scale, Workers: *workers,
+		})
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := timed("newstore", fmt.Sprintf("%d attacks, %d bots", len(attacks), len(bots)), func() error {
+		var err error
+		store, err = botscope.NewStore(attacks, botnets, bots)
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := timed("store_indexes", "first Targets()+Families() build", func() error {
+		store.Targets()
+		store.Families()
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := timed("collab_seq", "DetectCollaborations, 1 worker", func() error {
+		if n := len(core.DetectCollaborationsWindowWorkers(store, core.SimultaneousThreshold, core.CollabDurationWindow, 1)); n == 0 {
+			return fmt.Errorf("no collaborations detected")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := timed("collab_par", fmt.Sprintf("DetectCollaborations, %d workers", *workers), func() error {
+		if n := len(core.DetectCollaborationsWindowWorkers(store, core.SimultaneousThreshold, core.CollabDurationWindow, *workers)); n == 0 {
+			return fmt.Errorf("no collaborations detected")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !*skipAll {
+		w = experiments.FromStore(store, *scale)
+		if err := timed("runall", "all tables, figures, and extensions", func() error {
+			for _, e := range w.All() {
+				start := time.Now()
+				_, err := e.Run()
+				sec := time.Since(start).Seconds()
+				if err != nil {
+					return fmt.Errorf("%s: %w", e.ID, err)
+				}
+				rep.Experiments = append(rep.Experiments, Phase{Name: e.ID, Seconds: sec})
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if *baseline != "" {
+		if err := applyBaseline(rep, *baseline); err != nil {
+			return err
+		}
+	}
+
+	path := *out
+	if path == "" {
+		var err error
+		path, err = nextBenchPath(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
+}
+
+// applyBaseline fills SpeedupVsBaseline on every phase (and experiment)
+// whose name also appears in the baseline report.
+func applyBaseline(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	rep.Baseline = filepath.Base(path)
+	index := func(phases []Phase) map[string]float64 {
+		m := make(map[string]float64, len(phases))
+		for _, p := range phases {
+			m[p.Name] = p.Seconds
+		}
+		return m
+	}
+	annotate := func(phases []Phase, base map[string]float64) {
+		for i := range phases {
+			if sec, ok := base[phases[i].Name]; ok && phases[i].Seconds > 0 {
+				phases[i].SpeedupVsBaseline = sec / phases[i].Seconds
+			}
+		}
+	}
+	annotate(rep.Phases, index(base.Phases))
+	annotate(rep.Experiments, index(base.Experiments))
+	return nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchPath returns dir/BENCH_<n+1>.json where n is the highest
+// existing index in the trajectory (BENCH_1.json when none exist).
+func nextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n+1 > next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesReport smoke-tests the whole harness at a tiny scale: the
+// report must land at the next trajectory index, parse as JSON, and carry
+// every pipeline phase plus per-experiment timings.
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte(`{"schema":"botscope-bench/v1","phases":[{"name":"newstore","seconds":100}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-scale", "0.02", "-seed", "7",
+		"-dir", dir,
+		"-baseline", filepath.Join(dir, "BENCH_3.json"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_4.json"))
+	if err != nil {
+		t.Fatalf("auto-numbered report not written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != "botscope-bench/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	want := []string{"generate", "newstore", "store_indexes", "collab_seq", "collab_par", "runall"}
+	if len(rep.Phases) != len(want) {
+		t.Fatalf("got %d phases, want %d: %+v", len(rep.Phases), len(want), rep.Phases)
+	}
+	for i, name := range want {
+		if rep.Phases[i].Name != name {
+			t.Errorf("phase %d = %q, want %q", i, rep.Phases[i].Name, name)
+		}
+	}
+	if len(rep.Experiments) == 0 {
+		t.Error("no per-experiment timings recorded")
+	}
+	if rep.Baseline != "BENCH_3.json" {
+		t.Errorf("baseline = %q", rep.Baseline)
+	}
+	for _, p := range rep.Phases {
+		if p.Name == "newstore" && p.SpeedupVsBaseline == 0 {
+			t.Error("newstore phase missing speedup_vs_baseline despite matching baseline entry")
+		}
+	}
+}
+
+// TestNextBenchPath checks the auto-numbering scan.
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Errorf("empty dir: got %s, want BENCH_1.json", p)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_12.json", "BENCH_notanumber.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_13.json" {
+		t.Errorf("got %s, want BENCH_13.json", p)
+	}
+}

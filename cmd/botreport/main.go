@@ -38,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 		only     = fs.String("only", "", "run only the experiment with this ID (e.g. 'Figure 3')")
 		markdown = fs.Bool("markdown", false, "emit a markdown metric comparison instead of full text")
 		parallel = fs.Int("parallel", 0, "run experiments concurrently with this many workers (0 = sequential)")
+		workers  = fs.Int("workers", 0, "generation worker count (0 = all cores; output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +65,7 @@ func run(args []string, stdout io.Writer) error {
 		w = experiments.FromStore(store, *scale)
 	} else {
 		fmt.Fprintf(os.Stderr, "generating workload (seed %d, scale %.3f)...\n", *seed, *scale)
-		w, err = experiments.NewWorkload(*seed, *scale)
+		w, err = experiments.NewWorkloadWorkers(*seed, *scale, *workers)
 		if err != nil {
 			return err
 		}

@@ -30,12 +30,14 @@ type Pool struct {
 	countries []string // recruitment order, base countries first
 	rng       *rand.Rand
 	db        *geo.DB
-	used      map[netip.Addr]bool // global dedup set shared across pools
+	used      map[netip.Addr]bool // per-family dedup set, owned by this pool
 	bots      []*dataset.Bot
 }
 
 // NewPool places size bots into the profile's source countries,
-// proportionally to their weights. used deduplicates IPs across families.
+// proportionally to their weights. used deduplicates IPs within the pool's
+// family; the simulator passes each family its own set so families can
+// generate concurrently (cross-family duplicates collapse at merge time).
 func NewPool(rng *rand.Rand, db *geo.DB, p *Profile, size int, used map[netip.Addr]bool) (*Pool, error) {
 	pool := &Pool{
 		family:    p.Family,

@@ -10,6 +10,7 @@ import (
 
 	"botscope/internal/dataset"
 	"botscope/internal/geo"
+	"botscope/internal/par"
 )
 
 // BurstSpec injects a one-day attack storm, reproducing the paper's
@@ -48,6 +49,12 @@ type Config struct {
 	Seed         int64
 	Window       Window
 	InterCollabs []InterCollab
+	// Workers bounds how many families generate concurrently (0 = all
+	// cores, 1 = sequential). The output is identical for every value:
+	// each family's RNG stream is derived solely from Seed and the family
+	// name, its ID ranges are computed up front, and results merge in
+	// profile order.
+	Workers int
 }
 
 // Output is a complete generated workload in the three Table I schemas.
@@ -113,17 +120,40 @@ type famState struct {
 	rng     *rand.Rand
 }
 
-// Run executes the simulation and returns the full workload.
-func (s *Simulator) Run() (*Output, error) {
-	out := &Output{}
-	used := make(map[netip.Addr]bool)
-	var (
-		nextBotnetID dataset.BotnetID = 1
-		nextDDoSID   dataset.DDoSID   = 1
-	)
-	states := make(map[dataset.Family]*famState, len(s.profiles))
+// famOutput is one family's generation result, produced independently of
+// every other family.
+type famOutput struct {
+	state *famState
+	res   *genResult
+	bots  []*dataset.Bot
+	err   error
+}
 
-	for _, p := range s.profiles {
+// Run executes the simulation and returns the full workload. Families are
+// generated concurrently (see Config.Workers): each family's RNG stream
+// depends only on the seed and the family name, each family draws bots
+// from its own IP-dedup set, and each family's ID ranges are precomputed
+// — gen.run emits exactly p.TotalAttacks() attacks and p.Botnets botnets,
+// so the ranges a sequential pass would assign are known up front. Results
+// merge in profile order, making the output byte-identical for every
+// worker count.
+//
+// Bot IPs are deduplicated within a family, not across families; the rare
+// cross-family duplicate collapses to the first family's record at merge
+// time (the record fields are a pure function of the IP, so nothing is
+// lost).
+func (s *Simulator) Run() (*Output, error) {
+	botnetBase := make([]dataset.BotnetID, len(s.profiles))
+	ddosBase := make([]dataset.DDoSID, len(s.profiles))
+	nextB, nextD := dataset.BotnetID(1), dataset.DDoSID(1)
+	for i, p := range s.profiles {
+		botnetBase[i], ddosBase[i] = nextB, nextD
+		nextB += dataset.BotnetID(p.Botnets)
+		nextD += dataset.DDoSID(p.TotalAttacks())
+	}
+
+	results := par.Map(s.cfg.Workers, len(s.profiles), func(i int) famOutput {
+		p := s.profiles[i]
 		rng := rand.New(rand.NewSource(s.cfg.Seed ^ familyHash(p.Family)))
 		g := &familyGen{
 			p:      p,
@@ -132,14 +162,41 @@ func (s *Simulator) Run() (*Output, error) {
 			window: s.cfg.Window,
 			burst:  s.bursts[p.Family],
 		}
-		res, err := g.run(used, &nextBotnetID, &nextDDoSID)
+		nextBotnetID, nextDDoSID := botnetBase[i], ddosBase[i]
+		res, err := g.run(make(map[netip.Addr]bool), &nextBotnetID, &nextDDoSID)
 		if err != nil {
-			return nil, fmt.Errorf("botnet: generate %s: %w", p.Family, err)
+			return famOutput{err: fmt.Errorf("botnet: generate %s: %w", p.Family, err)}
 		}
-		out.Attacks = append(out.Attacks, res.attacks...)
-		out.Botnets = append(out.Botnets, res.botnets...)
-		out.Bots = append(out.Bots, g.pool.Bots()...)
-		states[p.Family] = &famState{profile: p, pool: g.pool, singles: res.singles, rng: rng}
+		if got := nextBotnetID - botnetBase[i]; int(got) != p.Botnets {
+			return famOutput{err: fmt.Errorf("botnet: %s emitted %d botnets, budget %d", p.Family, got, p.Botnets)}
+		}
+		if got := nextDDoSID - ddosBase[i]; int(got) != p.TotalAttacks() {
+			return famOutput{err: fmt.Errorf("botnet: %s emitted %d attacks, budget %d", p.Family, got, p.TotalAttacks())}
+		}
+		return famOutput{
+			state: &famState{profile: p, pool: g.pool, singles: res.singles, rng: rng},
+			res:   res,
+			bots:  g.pool.Bots(),
+		}
+	})
+
+	out := &Output{}
+	states := make(map[dataset.Family]*famState, len(s.profiles))
+	seenBot := make(map[netip.Addr]bool)
+	for i, fo := range results {
+		if fo.err != nil {
+			return nil, fo.err
+		}
+		out.Attacks = append(out.Attacks, fo.res.attacks...)
+		out.Botnets = append(out.Botnets, fo.res.botnets...)
+		for _, b := range fo.bots {
+			if seenBot[b.IP] {
+				continue
+			}
+			seenBot[b.IP] = true
+			out.Bots = append(out.Bots, b)
+		}
+		states[s.profiles[i].Family] = fo.state
 	}
 
 	if err := s.applyInterCollabs(states); err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"botscope/internal/dataset"
+	"botscope/internal/par"
 )
 
 // CollabDurationWindow is the paper's second collaboration criterion: the
@@ -46,24 +47,31 @@ func DetectCollaborations(s *dataset.Store) []*Collaboration {
 // thresholds, used by the window-sensitivity ablation. Attacks on one
 // target are grouped by start windows of startWindow; a group qualifies
 // when it has >= 2 distinct botnets and its duration spread fits
-// durationWindow.
+// durationWindow. Detection is sharded by target across all cores; see
+// DetectCollaborationsWindowWorkers for the determinism argument.
 func DetectCollaborationsWindow(s *dataset.Store, startWindow, durationWindow time.Duration) []*Collaboration {
-	var out []*Collaboration
-	for _, ip := range s.Targets() {
-		attacks := s.ByTarget(ip)
-		i := 0
-		for i < len(attacks) {
-			j := i + 1
-			for j < len(attacks) && attacks[j].Start.Sub(attacks[i].Start) < startWindow {
-				j++
-			}
-			if group := attacks[i:j]; len(group) >= 2 {
-				if c := QualifyCollaboration(ip.String(), group, durationWindow); c != nil {
-					out = append(out, c)
-				}
-			}
-			i = j
+	return DetectCollaborationsWindowWorkers(s, startWindow, durationWindow, 0)
+}
+
+// DetectCollaborationsWindowWorkers is DetectCollaborationsWindow with an
+// explicit worker count (0 = all cores, 1 = sequential). Targets are
+// independent — an attack group never spans two target IPs — so each
+// worker detects over a disjoint target shard. Shards are merged in
+// sorted-target order and the merged list is sorted by the total
+// (Start, Target) order, making the output identical for every worker
+// count.
+func DetectCollaborationsWindowWorkers(s *dataset.Store, startWindow, durationWindow time.Duration, workers int) []*Collaboration {
+	targets := s.Targets()
+	shards := par.ChunkMap(workers, len(targets), func(lo, hi int) []*Collaboration {
+		var shard []*Collaboration
+		for _, ip := range targets[lo:hi] {
+			shard = detectTargetWindows(shard, ip.String(), s.ByTarget(ip), startWindow, durationWindow)
 		}
+		return shard
+	})
+	var out []*Collaboration
+	for _, shard := range shards {
+		out = append(out, shard...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
@@ -71,6 +79,25 @@ func DetectCollaborationsWindow(s *dataset.Store, startWindow, durationWindow ti
 		}
 		return out[i].Target < out[j].Target
 	})
+	return out
+}
+
+// detectTargetWindows appends the qualifying collaborations of one
+// target's chronologically ordered attack list.
+func detectTargetWindows(out []*Collaboration, target string, attacks []*dataset.Attack, startWindow, durationWindow time.Duration) []*Collaboration {
+	i := 0
+	for i < len(attacks) {
+		j := i + 1
+		for j < len(attacks) && attacks[j].Start.Sub(attacks[i].Start) < startWindow {
+			j++
+		}
+		if group := attacks[i:j]; len(group) >= 2 {
+			if c := QualifyCollaboration(target, group, durationWindow); c != nil {
+				out = append(out, c)
+			}
+		}
+		i = j
+	}
 	return out
 }
 
@@ -139,7 +166,13 @@ type CollabStats struct {
 
 // AnalyzeCollaborations runs detection and aggregates Table VI.
 func AnalyzeCollaborations(s *dataset.Store) CollabStats {
-	collabs := DetectCollaborations(s)
+	return AnalyzeCollaborationsFrom(DetectCollaborations(s))
+}
+
+// AnalyzeCollaborationsFrom aggregates Table VI over an already-detected
+// collaboration list, letting callers that need both the table and the
+// per-pair drill-downs detect once and share the result.
+func AnalyzeCollaborationsFrom(collabs []*Collaboration) CollabStats {
 	out := CollabStats{
 		Intra:          make(map[dataset.Family]int),
 		Inter:          make(map[dataset.Family]int),
@@ -195,7 +228,12 @@ type PairSummary struct {
 
 // AnalyzePair summarizes the collaborations between two specific families.
 func AnalyzePair(s *dataset.Store, a, b dataset.Family) PairSummary {
-	collabs := DetectCollaborations(s)
+	return AnalyzePairFrom(DetectCollaborations(s), a, b)
+}
+
+// AnalyzePairFrom is AnalyzePair over an already-detected collaboration
+// list.
+func AnalyzePairFrom(collabs []*Collaboration, a, b dataset.Family) PairSummary {
 	out := PairSummary{A: a, B: b}
 	targets := make(map[string]bool)
 	countries := make(map[string]int)

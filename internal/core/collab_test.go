@@ -191,3 +191,33 @@ func TestCollabOnSynthWorkload(t *testing.T) {
 		t.Errorf("pair summary incomplete: %+v", pair)
 	}
 }
+
+// TestDetectCollaborationsParallelMatchesSequential pins the sharding
+// invariant: detection over disjoint target shards merged in canonical
+// order must equal the sequential scan exactly, for any worker count.
+func TestDetectCollaborationsParallelMatchesSequential(t *testing.T) {
+	s := synthWorkload(t)
+	seq := DetectCollaborationsWindowWorkers(s, SimultaneousThreshold, CollabDurationWindow, 1)
+	if len(seq) == 0 {
+		t.Fatal("sequential detection found no collaborations; comparison is vacuous")
+	}
+	for _, workers := range []int{0, 2, 3, 16} {
+		par := DetectCollaborationsWindowWorkers(s, SimultaneousThreshold, CollabDurationWindow, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d collaborations, sequential found %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			a, b := seq[i], par[i]
+			if a.Target != b.Target || !a.Start.Equal(b.Start) || len(a.Attacks) != len(b.Attacks) {
+				t.Fatalf("workers=%d: collaboration %d differs: %s@%v (%d attacks) vs %s@%v (%d attacks)",
+					workers, i, b.Target, b.Start, len(b.Attacks), a.Target, a.Start, len(a.Attacks))
+			}
+			for j := range a.Attacks {
+				if a.Attacks[j].ID != b.Attacks[j].ID {
+					t.Fatalf("workers=%d: collaboration %d attack %d: ID %d vs %d",
+						workers, i, j, b.Attacks[j].ID, a.Attacks[j].ID)
+				}
+			}
+		}
+	}
+}

@@ -45,6 +45,23 @@ func (b *Blacklist) Entries() []BlacklistEntry { return b.entries }
 // Contains reports whether ip is blacklisted.
 func (b *Blacklist) Contains(ip netip.Addr) bool { return b.members[ip] }
 
+// Truncate returns a blacklist keeping only the top maxSize entries.
+// Entries are already ranked, so this equals rebuilding with
+// BuildBlacklist(..., maxSize) without rescanning the workload; the entry
+// slice is shared with the receiver. maxSize <= 0 or >= Len returns the
+// receiver unchanged.
+func (b *Blacklist) Truncate(maxSize int) *Blacklist {
+	if maxSize <= 0 || maxSize >= len(b.entries) {
+		return b
+	}
+	entries := b.entries[:maxSize]
+	members := make(map[netip.Addr]bool, len(entries))
+	for _, e := range entries {
+		members[e.IP] = true
+	}
+	return &Blacklist{entries: entries, members: members}
+}
+
 // BuildBlacklist ranks every bot seen in attacks starting inside
 // [from, to) by participation and keeps the top maxSize entries
 // (0 = keep everything). Zero times extend to the workload bounds.

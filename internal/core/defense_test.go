@@ -188,3 +188,35 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestBlacklistTruncate pins Truncate against rebuilding with a cap: the
+// entries are already ranked, so the truncated list must equal a fresh
+// BuildBlacklist with the same maxSize.
+func TestBlacklistTruncate(t *testing.T) {
+	s := synthWorkload(t)
+	full, err := BuildBlacklist(s, time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, 10, full.Len() / 2, full.Len(), full.Len() + 1, 0, -1} {
+		rebuilt, err := BuildBlacklist(s, time.Time{}, time.Time{}, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := full.Truncate(cap)
+		if got.Len() != rebuilt.Len() {
+			t.Fatalf("cap %d: Truncate len %d, rebuild len %d", cap, got.Len(), rebuilt.Len())
+		}
+		for i, e := range got.Entries() {
+			if e != rebuilt.Entries()[i] {
+				t.Fatalf("cap %d: entry %d differs: %+v vs %+v", cap, i, e, rebuilt.Entries()[i])
+			}
+			if !got.Contains(e.IP) {
+				t.Fatalf("cap %d: member set missing ranked entry %s", cap, e.IP)
+			}
+		}
+	}
+	if full.Truncate(0) != full || full.Truncate(full.Len()) != full {
+		t.Error("no-op Truncate should return the receiver")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"botscope/internal/dataset"
+	"botscope/internal/par"
 	"botscope/internal/stats"
 )
 
@@ -14,20 +15,41 @@ import (
 // attack starts by hour of day and day of week and score the concentration
 // against a reference diurnal (web-traffic-like) profile.
 
-// HourOfDayCounts buckets attack starts into 24 UTC hours.
+// HourOfDayCounts buckets attack starts into 24 UTC hours. The scan is
+// sharded over contiguous attack ranges; integer bucket sums are
+// order-independent, so the result matches a sequential pass.
 func HourOfDayCounts(s *dataset.Store) [24]int {
+	attacks := s.Attacks()
 	var out [24]int
-	for _, a := range s.Attacks() {
-		out[a.Start.UTC().Hour()]++
+	for _, shard := range par.ChunkMap(0, len(attacks), func(lo, hi int) [24]int {
+		var c [24]int
+		for _, a := range attacks[lo:hi] {
+			c[a.Start.UTC().Hour()]++
+		}
+		return c
+	}) {
+		for h, n := range shard {
+			out[h] += n
+		}
 	}
 	return out
 }
 
-// DayOfWeekCounts buckets attack starts into 7 weekdays (Sunday = 0).
+// DayOfWeekCounts buckets attack starts into 7 weekdays (Sunday = 0),
+// sharded the same way as HourOfDayCounts.
 func DayOfWeekCounts(s *dataset.Store) [7]int {
+	attacks := s.Attacks()
 	var out [7]int
-	for _, a := range s.Attacks() {
-		out[int(a.Start.UTC().Weekday())]++
+	for _, shard := range par.ChunkMap(0, len(attacks), func(lo, hi int) [7]int {
+		var c [7]int
+		for _, a := range attacks[lo:hi] {
+			c[int(a.Start.UTC().Weekday())]++
+		}
+		return c
+	}) {
+		for d, n := range shard {
+			out[d] += n
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"botscope/internal/dataset"
+	"botscope/internal/par"
 	"botscope/internal/stats"
 )
 
@@ -179,18 +180,30 @@ func AnalyzeConcurrency(s *dataset.Store) ConcurrencyStats {
 
 // TargetIntervals returns, for each target attacked at least minAttacks
 // times, the gap series between consecutive attacks on it. The paper uses
-// these to predict the start time of the next anticipated attack.
+// these to predict the start time of the next anticipated attack. The
+// per-target extraction is sharded over disjoint target ranges; shard maps
+// have disjoint key sets, so their union is order-independent.
 func TargetIntervals(s *dataset.Store, minAttacks int) map[string][]float64 {
 	if minAttacks < 2 {
 		minAttacks = 2
 	}
-	out := make(map[string][]float64)
-	for _, ip := range s.Targets() {
-		attacks := s.ByTarget(ip)
-		if len(attacks) < minAttacks {
-			continue
+	targets := s.Targets()
+	shards := par.ChunkMap(0, len(targets), func(lo, hi int) map[string][]float64 {
+		m := make(map[string][]float64)
+		for _, ip := range targets[lo:hi] {
+			attacks := s.ByTarget(ip)
+			if len(attacks) < minAttacks {
+				continue
+			}
+			m[ip.String()] = Intervals(attacks)
 		}
-		out[ip.String()] = Intervals(attacks)
+		return m
+	})
+	out := make(map[string][]float64)
+	for _, m := range shards {
+		for k, v := range m {
+			out[k] = v
+		}
 	}
 	return out
 }

@@ -77,7 +77,10 @@ type DispersionProfile struct {
 // ProfileDispersion builds a family's dispersion profile. The error is
 // non-nil when the family has no usable attacks.
 func ProfileDispersion(s *dataset.Store, f dataset.Family) (DispersionProfile, error) {
-	series := DispersionSeries(s, f)
+	return profileFromSeries(f, DispersionSeries(s, f))
+}
+
+func profileFromSeries(f dataset.Family, series []DispersionPoint) (DispersionProfile, error) {
 	if len(series) == 0 {
 		return DispersionProfile{}, fmt.Errorf("core: family %s has no dispersion data", f)
 	}
@@ -101,7 +104,10 @@ func ProfileDispersion(s *dataset.Store, f dataset.Family) (DispersionProfile, e
 // DispersionCDF builds the Fig 9 per-family CDF over all dispersion values
 // (symmetric included).
 func DispersionCDF(s *dataset.Store, f dataset.Family) (*stats.ECDF, error) {
-	series := DispersionSeries(s, f)
+	return cdfFromSeries(f, DispersionSeries(s, f))
+}
+
+func cdfFromSeries(f dataset.Family, series []DispersionPoint) (*stats.ECDF, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("core: family %s has no dispersion data", f)
 	}
@@ -111,7 +117,10 @@ func DispersionCDF(s *dataset.Store, f dataset.Family) (*stats.ECDF, error) {
 // DispersionHistogram builds the Figs 10/11 histogram of the asymmetric
 // dispersion values (symmetric ones removed, exactly as the paper does).
 func DispersionHistogram(s *dataset.Store, f dataset.Family, bins int) (*stats.Histogram, error) {
-	series := DispersionSeries(s, f)
+	return histogramFromSeries(f, DispersionSeries(s, f), bins)
+}
+
+func histogramFromSeries(f dataset.Family, series []DispersionPoint, bins int) (*stats.Histogram, error) {
 	var asym []float64
 	for _, p := range series {
 		if p.Value > SymmetryToleranceKm {
@@ -134,13 +143,19 @@ func DispersionHistogram(s *dataset.Store, f dataset.Family, bins int) (*stats.H
 // dispersion observations, sorted by count descending. Fig 9 reports the
 // six families with >= 10 snapshots.
 func ActiveDispersionFamilies(s *dataset.Store, minPoints int) []dataset.Family {
+	return activeFamiliesFrom(s.Families(), func(f dataset.Family) []DispersionPoint {
+		return DispersionSeries(s, f)
+	}, minPoints)
+}
+
+func activeFamiliesFrom(families []dataset.Family, seriesOf func(dataset.Family) []DispersionPoint, minPoints int) []dataset.Family {
 	type fc struct {
 		f dataset.Family
 		n int
 	}
 	var list []fc
-	for _, f := range s.Families() {
-		if n := len(DispersionSeries(s, f)); n >= minPoints {
+	for _, f := range families {
+		if n := len(seriesOf(f)); n >= minPoints {
 			list = append(list, fc{f: f, n: n})
 		}
 	}

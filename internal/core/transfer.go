@@ -34,30 +34,65 @@ type TransferResult struct {
 // it one-step-ahead on target's series (second half), against a natively
 // fitted reference. Both families need at least minSeries points.
 func TransferPredict(s *dataset.Store, source, target dataset.Family, order timeseries.Order, minSeries int) (*TransferResult, error) {
+	src := DispersionValues(DispersionSeries(s, source))
+	tgt := DispersionValues(DispersionSeries(s, target))
+	return transferFromSeries(source, target, src, tgt, order, minSeries)
+}
+
+func transferFromSeries(source, target dataset.Family, src, tgt []float64, order timeseries.Order, minSeries int) (*TransferResult, error) {
 	if minSeries <= 0 {
 		minSeries = 60
 	}
-	src := DispersionValues(DispersionSeries(s, source))
-	tgt := DispersionValues(DispersionSeries(s, target))
 	if len(src) < minSeries {
 		return nil, fmt.Errorf("core: source %s has %d dispersion points, need %d", source, len(src), minSeries)
 	}
 	if len(tgt) < minSeries {
 		return nil, fmt.Errorf("core: target %s has %d dispersion points, need %d", target, len(tgt), minSeries)
 	}
-	split := len(tgt) / 2
-	truth := tgt[split:]
-
-	// Source-fitted model: coefficients from the source family; the mean
-	// is re-anchored to the target's training mean (levels differ per
-	// family, shapes transfer).
 	srcModel, err := timeseries.Fit(src, order)
 	if err != nil {
 		return nil, fmt.Errorf("core: fit source %s: %w", source, err)
 	}
+	muTrain, nativeSim, err := nativeFit(target, tgt, order)
+	if err != nil {
+		return nil, err
+	}
+	return transferScore(source, target, srcModel, tgt, muTrain, nativeSim)
+}
+
+// nativeFit fits the target's own model on its training half and scores
+// its one-step forecasts on the evaluation half. Both outputs depend only
+// on the target, so TransferMatrix computes them once per family and
+// reuses them for every source.
+func nativeFit(target dataset.Family, tgt []float64, order timeseries.Order) (muTrain, nativeSim float64, err error) {
+	split := len(tgt) / 2
+	muTrain = stats.Mean(tgt[:split])
+	nativeModel, err := timeseries.Fit(tgt[:split], order)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: fit native %s: %w", target, err)
+	}
+	nativePreds, err := nativeModel.OneStepForecasts(tgt, split)
+	if err != nil {
+		return 0, 0, err
+	}
+	clampNonNegative(nativePreds)
+	nativeSim, err = stats.CosineSimilarity(nativePreds, tgt[split:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return muTrain, nativeSim, nil
+}
+
+// transferScore applies a source-fitted model to the target's evaluation
+// half. The coefficients come from the source family; the mean is
+// re-anchored to the target's training mean (levels differ per family,
+// shapes transfer).
+func transferScore(source, target dataset.Family, srcModel *timeseries.Model, tgt []float64, muTrain, nativeSim float64) (*TransferResult, error) {
+	split := len(tgt) / 2
+	truth := tgt[split:]
 	transferred := &timeseries.Model{
 		Order:  srcModel.Order,
-		Mu:     stats.Mean(tgt[:split]),
+		Mu:     muTrain,
 		AR:     srcModel.AR,
 		MA:     srcModel.MA,
 		Sigma2: srcModel.Sigma2,
@@ -68,20 +103,6 @@ func TransferPredict(s *dataset.Store, source, target dataset.Family, order time
 	}
 	clampNonNegative(transferPreds)
 	transferSim, err := stats.CosineSimilarity(transferPreds, truth)
-	if err != nil {
-		return nil, err
-	}
-
-	nativeModel, err := timeseries.Fit(tgt[:split], order)
-	if err != nil {
-		return nil, fmt.Errorf("core: fit native %s: %w", target, err)
-	}
-	nativePreds, err := nativeModel.OneStepForecasts(tgt, split)
-	if err != nil {
-		return nil, err
-	}
-	clampNonNegative(nativePreds)
-	nativeSim, err := stats.CosineSimilarity(nativePreds, truth)
 	if err != nil {
 		return nil, err
 	}

@@ -4,13 +4,23 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
+
+	"botscope/internal/par"
 )
 
 // Store is an immutable, indexed view over one workload: the attack list
 // plus the bot and botnet schemas it references. Construction sorts and
 // indexes everything once; queries are then cheap. A Store is safe for
 // concurrent readers.
+//
+// The sorted Families/Targets views and the per-family counts are
+// memoized lazily: hot paths call them once per target or family scan,
+// and re-sorting the full key set on every call dominated the analysis
+// kernels at scale. Each cached slice is built exactly once inside its
+// sync.Once and is immutable afterwards, so returning the shared slice to
+// concurrent readers is safe.
 type Store struct {
 	attacks  []*Attack // sorted by (Start, ID)
 	botnets  map[BotnetID]*Botnet
@@ -18,6 +28,18 @@ type Store struct {
 	byFamily map[Family][]*Attack
 	byTarget map[netip.Addr][]*Attack
 	byBotnet map[BotnetID][]*Attack
+
+	famOnce      sync.Once
+	families     []Family      // written once inside famOnce.Do; immutable after
+	familyCounts []FamilyCount // written once inside famOnce.Do; immutable after
+	tgtOnce      sync.Once
+	targets      []netip.Addr // written once inside tgtOnce.Do; immutable after
+}
+
+// FamilyCount pairs a family with its attack count, ordered by family.
+type FamilyCount struct {
+	Family  Family
+	Attacks int
 }
 
 // NewStore validates, sorts, and indexes a workload. Bots and botnets may
@@ -99,25 +121,52 @@ func (s *Store) NumBots() int { return len(s.bots) }
 // NumBotnets returns the number of Botnetlist records.
 func (s *Store) NumBotnets() int { return len(s.botnets) }
 
-// Families returns every family that launched at least one attack, sorted.
+// Families returns every family that launched at least one attack,
+// sorted. The slice is computed once and shared: callers must not modify
+// it.
 func (s *Store) Families() []Family {
-	out := make([]Family, 0, len(s.byFamily))
-	for f := range s.byFamily {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	s.famOnce.Do(s.buildFamilies)
+	return s.families
 }
 
-// Targets returns every attacked IP, sorted.
-func (s *Store) Targets() []netip.Addr {
-	out := make([]netip.Addr, 0, len(s.byTarget))
-	for ip := range s.byTarget {
-		out = append(out, ip)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+// FamilyCounts returns every family with its attack count, sorted by
+// family. The slice is computed once and shared: callers must not modify
+// it.
+func (s *Store) FamilyCounts() []FamilyCount {
+	s.famOnce.Do(s.buildFamilies)
+	return s.familyCounts
 }
+
+func (s *Store) buildFamilies() {
+	fams := make([]Family, 0, len(s.byFamily))
+	for f := range s.byFamily {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	counts := make([]FamilyCount, len(fams))
+	for i, f := range fams {
+		counts[i] = FamilyCount{Family: f, Attacks: len(s.byFamily[f])}
+	}
+	s.families = fams
+	s.familyCounts = counts
+}
+
+// Targets returns every attacked IP, sorted. The slice is computed once
+// and shared: callers must not modify it.
+func (s *Store) Targets() []netip.Addr {
+	s.tgtOnce.Do(func() {
+		out := make([]netip.Addr, 0, len(s.byTarget))
+		for ip := range s.byTarget {
+			out = append(out, ip)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		s.targets = out
+	})
+	return s.targets
+}
+
+// NumTargets returns the number of distinct attacked IPs.
+func (s *Store) NumTargets() int { return len(s.byTarget) }
 
 // InRange returns attacks with Start in [from, to), using the start-time
 // ordering for a binary-searched slice rather than a scan.
@@ -164,58 +213,131 @@ type SummaryCounts struct {
 	TargetASNs      int
 }
 
+// summaryShard holds the distinct-entity sets of one contiguous attack
+// range; shards merge by set union, so the result is independent of how
+// the attack list is split.
+type summaryShard struct {
+	botIPs    map[netip.Addr]bool
+	botnets   map[BotnetID]bool
+	types     map[Category]bool
+	srcCC     map[string]bool
+	srcCity   map[string]bool
+	srcOrg    map[string]bool
+	srcASN    map[int]bool
+	tgtIPs    map[netip.Addr]bool
+	tgtCC     map[string]bool
+	tgtCities map[string]bool
+	tgtOrgs   map[string]bool
+	tgtASNs   map[int]bool
+}
+
+func newSummaryShard() *summaryShard {
+	return &summaryShard{
+		botIPs:    make(map[netip.Addr]bool),
+		botnets:   make(map[BotnetID]bool),
+		types:     make(map[Category]bool),
+		srcCC:     make(map[string]bool),
+		srcCity:   make(map[string]bool),
+		srcOrg:    make(map[string]bool),
+		srcASN:    make(map[int]bool),
+		tgtIPs:    make(map[netip.Addr]bool),
+		tgtCC:     make(map[string]bool),
+		tgtCities: make(map[string]bool),
+		tgtOrgs:   make(map[string]bool),
+		tgtASNs:   make(map[int]bool),
+	}
+}
+
+func (sh *summaryShard) add(s *Store, a *Attack) {
+	sh.botnets[a.BotnetID] = true
+	sh.types[a.Category] = true
+	sh.tgtIPs[a.TargetIP] = true
+	sh.tgtCC[a.TargetCountry] = true
+	sh.tgtCities[a.TargetCountry+"/"+a.TargetCity] = true
+	sh.tgtOrgs[a.TargetOrg] = true
+	sh.tgtASNs[a.TargetASN] = true
+	for _, ip := range a.BotIPs {
+		if sh.botIPs[ip] {
+			continue
+		}
+		sh.botIPs[ip] = true
+		if b, ok := s.bots[ip]; ok {
+			sh.srcCC[b.CountryCode] = true
+			sh.srcCity[b.CountryCode+"/"+b.City] = true
+			sh.srcOrg[b.Org] = true
+			sh.srcASN[b.ASN] = true
+		}
+	}
+}
+
+func (sh *summaryShard) merge(o *summaryShard) {
+	union := func(dst, src map[string]bool) {
+		for k := range src {
+			dst[k] = true
+		}
+	}
+	for k := range o.botIPs {
+		sh.botIPs[k] = true
+	}
+	for k := range o.botnets {
+		sh.botnets[k] = true
+	}
+	for k := range o.types {
+		sh.types[k] = true
+	}
+	for k := range o.tgtIPs {
+		sh.tgtIPs[k] = true
+	}
+	for k := range o.srcASN {
+		sh.srcASN[k] = true
+	}
+	for k := range o.tgtASNs {
+		sh.tgtASNs[k] = true
+	}
+	union(sh.srcCC, o.srcCC)
+	union(sh.srcCity, o.srcCity)
+	union(sh.srcOrg, o.srcOrg)
+	union(sh.tgtCC, o.tgtCC)
+	union(sh.tgtCities, o.tgtCities)
+	union(sh.tgtOrgs, o.tgtOrgs)
+}
+
 // Summary computes Table III's counts over the full workload. Source-side
 // entity counts come from the Botlist records of the bots that appear in
-// attacks; target-side counts come from the attack records.
+// attacks; target-side counts come from the attack records. The scan is
+// sharded across contiguous attack ranges and merged by set union, so the
+// counts are identical to a sequential pass.
 func (s *Store) Summary() SummaryCounts {
-	var (
-		botIPs    = make(map[netip.Addr]bool)
-		botnets   = make(map[BotnetID]bool)
-		types     = make(map[Category]bool)
-		srcCC     = make(map[string]bool)
-		srcCity   = make(map[string]bool)
-		srcOrg    = make(map[string]bool)
-		srcASN    = make(map[int]bool)
-		tgtIPs    = make(map[netip.Addr]bool)
-		tgtCC     = make(map[string]bool)
-		tgtCities = make(map[string]bool)
-		tgtOrgs   = make(map[string]bool)
-		tgtASNs   = make(map[int]bool)
-	)
-	for _, a := range s.attacks {
-		botnets[a.BotnetID] = true
-		types[a.Category] = true
-		tgtIPs[a.TargetIP] = true
-		tgtCC[a.TargetCountry] = true
-		tgtCities[a.TargetCountry+"/"+a.TargetCity] = true
-		tgtOrgs[a.TargetOrg] = true
-		tgtASNs[a.TargetASN] = true
-		for _, ip := range a.BotIPs {
-			if botIPs[ip] {
-				continue
-			}
-			botIPs[ip] = true
-			if b, ok := s.bots[ip]; ok {
-				srcCC[b.CountryCode] = true
-				srcCity[b.CountryCode+"/"+b.City] = true
-				srcOrg[b.Org] = true
-				srcASN[b.ASN] = true
-			}
+	return s.SummaryWorkers(0)
+}
+
+// SummaryWorkers is Summary with an explicit worker count (0 = all
+// cores, 1 = sequential).
+func (s *Store) SummaryWorkers(workers int) SummaryCounts {
+	shards := par.ChunkMap(workers, len(s.attacks), func(lo, hi int) *summaryShard {
+		sh := newSummaryShard()
+		for _, a := range s.attacks[lo:hi] {
+			sh.add(s, a)
 		}
+		return sh
+	})
+	total := newSummaryShard()
+	for _, sh := range shards {
+		total.merge(sh)
 	}
 	return SummaryCounts{
 		Attacks:         len(s.attacks),
-		Botnets:         len(botnets),
-		TrafficTypes:    len(types),
-		BotIPs:          len(botIPs),
-		SourceCountries: len(srcCC),
-		SourceCities:    len(srcCity),
-		SourceOrgs:      len(srcOrg),
-		SourceASNs:      len(srcASN),
-		TargetIPs:       len(tgtIPs),
-		TargetCountries: len(tgtCC),
-		TargetCities:    len(tgtCities),
-		TargetOrgs:      len(tgtOrgs),
-		TargetASNs:      len(tgtASNs),
+		Botnets:         len(total.botnets),
+		TrafficTypes:    len(total.types),
+		BotIPs:          len(total.botIPs),
+		SourceCountries: len(total.srcCC),
+		SourceCities:    len(total.srcCity),
+		SourceOrgs:      len(total.srcOrg),
+		SourceASNs:      len(total.srcASN),
+		TargetIPs:       len(total.tgtIPs),
+		TargetCountries: len(total.tgtCC),
+		TargetCities:    len(total.tgtCities),
+		TargetOrgs:      len(total.tgtOrgs),
+		TargetASNs:      len(total.tgtASNs),
 	}
 }

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 )
@@ -208,5 +209,104 @@ func TestStoreSummaryCityDisambiguation(t *testing.T) {
 	}
 	if got := s.Summary().TargetCities; got != 2 {
 		t.Errorf("TargetCities = %d, want 2 (same name, different countries)", got)
+	}
+}
+
+// TestStoreMemoizedAccessors checks the lazily-built Families/FamilyCounts/
+// Targets views: correct content, canonical order, and a shared backing
+// array across repeat calls.
+func TestStoreMemoizedAccessors(t *testing.T) {
+	attacks := []*Attack{
+		buildAttack(1, 1, Pandora, "6.6.6.6", t0, time.Hour),
+		buildAttack(2, 1, Dirtjumper, "5.5.5.5", t0.Add(time.Hour), time.Hour),
+		buildAttack(3, 2, Dirtjumper, "7.7.7.7", t0.Add(2*time.Hour), time.Hour),
+	}
+	s, err := NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := s.Families()
+	if len(fams) != 2 || fams[0] != Dirtjumper || fams[1] != Pandora {
+		t.Fatalf("Families() = %v, want sorted [dirtjumper pandora]", fams)
+	}
+	counts := s.FamilyCounts()
+	if len(counts) != 2 || counts[0] != (FamilyCount{Family: Dirtjumper, Attacks: 2}) ||
+		counts[1] != (FamilyCount{Family: Pandora, Attacks: 1}) {
+		t.Fatalf("FamilyCounts() = %+v", counts)
+	}
+	targets := s.Targets()
+	if len(targets) != 3 || s.NumTargets() != 3 {
+		t.Fatalf("Targets() = %v, NumTargets = %d", targets, s.NumTargets())
+	}
+	for i := 1; i < len(targets); i++ {
+		if !targets[i-1].Less(targets[i]) {
+			t.Fatalf("Targets() not sorted: %v", targets)
+		}
+	}
+	if again := s.Families(); &again[0] != &fams[0] {
+		t.Error("Families() rebuilt its slice on a repeat call; memoization is not working")
+	}
+	if again := s.Targets(); &again[0] != &targets[0] {
+		t.Error("Targets() rebuilt its slice on a repeat call; memoization is not working")
+	}
+}
+
+// TestStoreAccessorsConcurrent races many first-time readers of the
+// memoized accessors and the sharded summary under -race.
+func TestStoreAccessorsConcurrent(t *testing.T) {
+	attacks := make([]*Attack, 0, 300)
+	for i := 0; i < 300; i++ {
+		fam := Dirtjumper
+		if i%3 == 0 {
+			fam = Pandora
+		}
+		ip := netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 9})
+		attacks = append(attacks, buildAttack(DDoSID(i+1), BotnetID(i%7+1), fam, ip.String(), t0.Add(time.Duration(i)*time.Minute), time.Hour))
+	}
+	s, err := NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				if got := len(s.Families()); got != 2 {
+					t.Errorf("Families() = %d families, want 2", got)
+				}
+				if got := len(s.FamilyCounts()); got != 2 {
+					t.Errorf("FamilyCounts() = %d rows, want 2", got)
+				}
+				if got := len(s.Targets()); got != 300 {
+					t.Errorf("Targets() = %d, want 300", got)
+				}
+				if sum := s.SummaryWorkers(4); sum.Attacks != 300 || sum.TargetIPs != 300 {
+					t.Errorf("SummaryWorkers = %+v", sum)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStoreSummaryWorkersMatchesSequential pins the shard-merge
+// invariant: any worker count yields the sequential counts.
+func TestStoreSummaryWorkersMatchesSequential(t *testing.T) {
+	attacks := make([]*Attack, 0, 100)
+	for i := 0; i < 100; i++ {
+		ip := netip.AddrFrom4([4]byte{10, 1, byte(i % 50), 9})
+		attacks = append(attacks, buildAttack(DDoSID(i+1), BotnetID(i%5+1), Dirtjumper, ip.String(), t0.Add(time.Duration(i)*time.Minute), time.Hour))
+	}
+	s, err := NewStore(attacks, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.SummaryWorkers(1)
+	for _, workers := range []int{0, 2, 3, 16} {
+		if got := s.SummaryWorkers(workers); got != want {
+			t.Fatalf("SummaryWorkers(%d) = %+v, want %+v", workers, got, want)
+		}
 	}
 }

@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"botscope/internal/core"
 	"botscope/internal/dataset"
 	"botscope/internal/monitor"
 	"botscope/internal/synth"
@@ -64,6 +66,11 @@ func (r *Result) MetricsText() string {
 }
 
 // Workload bundles the generated dataset with the knobs experiments need.
+//
+// Expensive shared aggregates — the per-family dispersion series and the
+// collaboration list — are memoized here, because roughly a dozen
+// experiments re-derive them from scratch otherwise. Both caches are safe
+// for the concurrent experiment runs of RunAllParallel.
 type Workload struct {
 	Store *dataset.Store
 	// Scale is the generation scale (1.0 = paper size); experiments use it
@@ -71,14 +78,40 @@ type Workload struct {
 	Scale float64
 	// collector is lazily shared across source experiments.
 	collector *monitor.Collector
+	// disp memoizes per-family dispersion series (Figs 9-13, Table IV,
+	// Ext: Transfer); it is internally synchronized.
+	disp *core.DispersionIndex
+
+	collabOnce sync.Once
+	collabs    []*core.Collaboration // written once inside collabOnce.Do; immutable after
 }
 
-// NewWorkload generates a synthetic workload at the given scale.
+// Disp returns the workload's shared dispersion index.
+func (w *Workload) Disp() *core.DispersionIndex { return w.disp }
+
+// Collabs returns the workload's collaboration list (paper criteria),
+// detecting it on first call and serving the shared slice afterwards.
+func (w *Workload) Collabs() []*core.Collaboration {
+	w.collabOnce.Do(func() {
+		w.collabs = core.DetectCollaborations(w.Store)
+	})
+	return w.collabs
+}
+
+// NewWorkload generates a synthetic workload at the given scale, using
+// all cores for generation.
 func NewWorkload(seed int64, scale float64) (*Workload, error) {
+	return NewWorkloadWorkers(seed, scale, 0)
+}
+
+// NewWorkloadWorkers is NewWorkload with an explicit generation worker
+// count (0 = all cores, 1 = sequential). The workload is byte-identical
+// for every worker count.
+func NewWorkloadWorkers(seed int64, scale float64, workers int) (*Workload, error) {
 	if scale <= 0 {
 		scale = 1
 	}
-	store, err := synth.GenerateStore(synth.Config{Seed: seed, Scale: scale})
+	store, err := synth.GenerateStore(synth.Config{Seed: seed, Scale: scale, Workers: workers})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generate workload: %w", err)
 	}
@@ -90,7 +123,12 @@ func FromStore(store *dataset.Store, scale float64) *Workload {
 	if scale <= 0 {
 		scale = 1
 	}
-	return &Workload{Store: store, Scale: scale, collector: monitor.NewCollector(store)}
+	return &Workload{
+		Store:     store,
+		Scale:     scale,
+		collector: monitor.NewCollector(store),
+		disp:      core.NewDispersionIndex(store),
+	}
 }
 
 // Experiment pairs an ID with its regeneration function.

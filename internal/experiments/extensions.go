@@ -77,10 +77,7 @@ func (w *Workload) ExtDefense() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	capped, err := core.BuildBlacklist(w.Store, time.Time{}, split, 10000)
-	if err != nil {
-		return nil, err
-	}
+	capped := bl.Truncate(10000)
 	evCapped, err := core.EvaluateBlacklist(w.Store, capped, split, time.Time{})
 	if err != nil {
 		return nil, err
@@ -104,11 +101,11 @@ func (w *Workload) ExtDefense() (*Result, error) {
 // ExtTransfer evaluates the paper's cross-family claim: dispersion models
 // fitted on one family applied unchanged to others.
 func (w *Workload) ExtTransfer() (*Result, error) {
-	fams := core.ActiveDispersionFamilies(w.Store, 120)
+	fams := w.Disp().ActiveFamilies(120)
 	if len(fams) > 4 {
 		fams = fams[:4]
 	}
-	results := core.TransferMatrix(w.Store, fams, timeseries.Order{P: 1}, 120)
+	results := w.Disp().TransferMatrix(fams, timeseries.Order{P: 1}, 120)
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no family pair has enough dispersion data")
 	}

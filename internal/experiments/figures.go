@@ -7,6 +7,8 @@ import (
 
 	"botscope/internal/core"
 	"botscope/internal/dataset"
+	"botscope/internal/monitor"
+	"botscope/internal/par"
 	"botscope/internal/report"
 	"botscope/internal/stats"
 	"botscope/internal/timeseries"
@@ -239,11 +241,16 @@ func (w *Workload) Figure8() (*Result, error) {
 		fresh    int
 	}
 	agg := make(map[int]*weekAgg)
-	for _, f := range dataset.ActiveFamilies {
-		weeks, err := w.collector.WeeklySources(f)
+	// The per-family weekly scans are independent; shard them and merge in
+	// family order (integer sums, so the merge order cannot change totals).
+	famWeeks := par.Map(0, len(dataset.ActiveFamilies), func(i int) []monitor.WeekStats {
+		weeks, err := w.collector.WeeklySources(dataset.ActiveFamilies[i])
 		if err != nil {
-			continue
+			return nil
 		}
+		return weeks
+	})
+	for _, weeks := range famWeeks {
 		for _, wk := range weeks {
 			a := agg[wk.Week]
 			if a == nil {
@@ -294,7 +301,7 @@ func (w *Workload) Figure8() (*Result, error) {
 
 // Figure9 regenerates the per-family dispersion CDFs.
 func (w *Workload) Figure9() (*Result, error) {
-	fams := core.ActiveDispersionFamilies(w.Store, 10)
+	fams := w.Disp().ActiveFamilies(10)
 	if len(fams) > 6 {
 		fams = fams[:6] // the paper reports the six most active
 	}
@@ -306,7 +313,7 @@ func (w *Workload) Figure9() (*Result, error) {
 		cdfs  []*stats.ECDF
 	)
 	for _, f := range fams {
-		cdf, err := core.DispersionCDF(w.Store, f)
+		cdf, err := w.Disp().CDF(f)
 		if err != nil {
 			continue
 		}
@@ -334,11 +341,11 @@ func (w *Workload) Figure9() (*Result, error) {
 
 // dispersionHistogram builds the Figs 10/11 result for one family.
 func (w *Workload) dispersionHistogram(id string, f dataset.Family, paperMean, paperSymmetric float64) (*Result, error) {
-	prof, err := core.ProfileDispersion(w.Store, f)
+	prof, err := w.Disp().Profile(f)
 	if err != nil {
 		return nil, err
 	}
-	h, err := core.DispersionHistogram(w.Store, f, 12)
+	h, err := w.Disp().Histogram(f, 12)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +378,7 @@ func (w *Workload) dispersionPrediction(id string, f dataset.Family, paperSim fl
 	if cfg.TestPoints < 20 {
 		cfg.TestPoints = 20
 	}
-	pred, err := core.PredictDispersion(w.Store, f, cfg)
+	pred, err := w.Disp().Predict(f, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -450,7 +457,7 @@ func (w *Workload) Figure14() (*Result, error) {
 
 // Figure15 regenerates the Dirtjumper intra-family collaboration view.
 func (w *Workload) Figure15() (*Result, error) {
-	st := core.AnalyzeCollaborations(w.Store)
+	st := core.AnalyzeCollaborationsFrom(w.Collabs())
 	var events []*core.Collaboration
 	for _, c := range st.Collaborations {
 		if c.Intra() && c.Families[0] == dataset.Dirtjumper {
@@ -492,7 +499,7 @@ func (w *Workload) Figure15() (*Result, error) {
 
 // Figure16 regenerates the Dirtjumper-Pandora inter-family analysis.
 func (w *Workload) Figure16() (*Result, error) {
-	pair := core.AnalyzePair(w.Store, dataset.Dirtjumper, dataset.Pandora)
+	pair := core.AnalyzePairFrom(w.Collabs(), dataset.Dirtjumper, dataset.Pandora)
 	if pair.Count == 0 {
 		return nil, fmt.Errorf("no dirtjumper-pandora collaborations")
 	}

@@ -6,17 +6,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"botscope/internal/par"
 )
 
 // RunAllParallel executes every experiment concurrently with at most
-// workers goroutines (0 means 4) and returns the results in All() order.
-// The context cancels outstanding work: experiments not yet started when
-// ctx is done are reported as failures; running ones finish normally
+// workers goroutines (0 means all cores) and returns the results in All()
+// order. The context cancels outstanding work: experiments not yet started
+// when ctx is done are reported as failures; running ones finish normally
 // (analyses are CPU-bound and short).
 func (w *Workload) RunAllParallel(ctx context.Context, workers int) ([]*Result, error) {
-	if workers <= 0 {
-		workers = 4
-	}
+	workers = par.Workers(workers)
 	all := w.All()
 	type slot struct {
 		res *Result

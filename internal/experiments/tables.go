@@ -93,7 +93,7 @@ func (w *Workload) TableIV() (*Result, error) {
 	if cfg.TestPoints < 20 {
 		cfg.TestPoints = 20
 	}
-	results := core.PredictAllFamilies(w.Store, cfg)
+	results := w.Disp().PredictAll(cfg, 0)
 	if len(results) == 0 {
 		return nil, fmt.Errorf("no family had enough dispersion data")
 	}
@@ -169,7 +169,7 @@ func (w *Workload) TableV() (*Result, error) {
 
 // TableVI regenerates the collaboration statistics.
 func (w *Workload) TableVI() (*Result, error) {
-	st := core.AnalyzeCollaborations(w.Store)
+	st := core.AnalyzeCollaborationsFrom(w.Collabs())
 	t := report.NewTable("Table VI — botnets collaboration statistics",
 		"family", "intra-family", "inter-family")
 	t.SetAlign(1, report.AlignRight)

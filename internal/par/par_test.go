@@ -1,0 +1,106 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d, want 100", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map over empty range = %v, want nil", out)
+	}
+	if out := ChunkMap(4, 0, func(lo, hi int) int { return hi - lo }); out != nil {
+		t.Fatalf("ChunkMap over empty range = %v, want nil", out)
+	}
+}
+
+// TestMapEveryIndexOnce runs under -race and checks each index is visited
+// exactly once, no matter the worker count.
+func TestMapEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	var visits [n]int32
+	Map(8, n, func(i int) struct{} {
+		atomic.AddInt32(&visits[i], 1)
+		return struct{}{}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestChunkMapCoversRange(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{1, 1}, {1, 8}, {5, 2}, {10, 3}, {100, 7}, {100, 200},
+	} {
+		sum := 0
+		for _, part := range ChunkMap(tc.workers, tc.n, func(lo, hi int) int {
+			if lo >= hi {
+				t.Fatalf("n=%d workers=%d: empty chunk [%d,%d)", tc.n, tc.workers, lo, hi)
+			}
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += i
+			}
+			return s
+		}) {
+			sum += part
+		}
+		want := tc.n * (tc.n - 1) / 2
+		if sum != want {
+			t.Fatalf("n=%d workers=%d: chunk sum = %d, want %d", tc.n, tc.workers, sum, want)
+		}
+	}
+}
+
+func TestChunkBoundsDeterministic(t *testing.T) {
+	a := chunkBounds(1000, 7)
+	b := chunkBounds(1000, 7)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic chunk count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Contiguity and full coverage.
+	lo := 0
+	for i, s := range a {
+		if s.lo != lo {
+			t.Fatalf("chunk %d starts at %d, want %d", i, s.lo, lo)
+		}
+		lo = s.hi
+	}
+	if lo != 1000 {
+		t.Fatalf("chunks end at %d, want 1000", lo)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -179,8 +179,8 @@ func (s *Server) handleFamilies(w http.ResponseWriter, _ *http.Request) {
 		Attacks int    `json:"attacks"`
 	}
 	var out []famRow
-	for _, f := range s.store.Families() {
-		out = append(out, famRow{Family: string(f), Attacks: len(s.store.ByFamily(f))})
+	for _, fc := range s.store.FamilyCounts() {
+		out = append(out, famRow{Family: string(fc.Family), Attacks: fc.Attacks})
 	}
 	writeJSON(w, out)
 }
@@ -200,7 +200,7 @@ func (s *Server) handleDispersion(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	prof, err := core.ProfileDispersion(s.store, f)
+	prof, err := s.workload.Disp().Profile(f)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -222,7 +222,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		testPoints = n
 	}
-	res, err := core.PredictDispersion(s.store, f, core.PredictConfig{
+	res, err := s.workload.Disp().Predict(f, core.PredictConfig{
 		Order:      timeseries.Order{P: 1},
 		TestPoints: testPoints,
 	})
@@ -266,7 +266,7 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCollaborations(w http.ResponseWriter, _ *http.Request) {
-	st := core.AnalyzeCollaborations(s.store)
+	st := core.AnalyzeCollaborationsFrom(s.workload.Collabs())
 	writeJSON(w, struct {
 		TotalIntra  int                    `json:"total_intra"`
 		TotalInter  int                    `json:"total_inter"`
