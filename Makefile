@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet race verify bench bench-smoke bench-record bench-stream report fmt fmt-check fuzz
+.PHONY: build test vet botvet race verify bench bench-smoke bench-allocs bench-record bench-stream report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,17 @@ bench:
 # bit-rot; -short skips the fixed-scale (scale 1/10) kernel benchmarks.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -short -run=^$$
+
+# bench-allocs runs the hot-kernel micro-benchmarks with -benchmem and
+# fails when any exceeds its budget in bench_thresholds.json (see
+# cmd/benchguard). This is the CI gate against allocation regressions in
+# the ARIMA fitter and the dispersion scan.
+bench-allocs:
+	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$' \
+		-benchmem -benchtime=10x ./internal/timeseries ./internal/core > bench_allocs.out
+	@cat bench_allocs.out
+	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json
+	@rm -f bench_allocs.out
 
 # bench-record runs the trajectory harness and appends the next
 # BENCH_<n>.json. BENCH_SCALE=10 BENCH_BASELINE=BENCH_0.json make bench-record

@@ -1,0 +1,163 @@
+// Command benchguard enforces the allocation budgets of the hot-kernel
+// micro-benchmarks. It parses `go test -bench -benchmem` output and fails
+// when any benchmark named in the threshold file exceeds its allocs/op or
+// bytes/op ceiling — or when an expected benchmark is missing from the
+// run, so a renamed benchmark cannot silently drop its guard.
+//
+// Usage:
+//
+//	go test -bench '...' -benchmem ./... > bench.out
+//	benchguard -in bench.out -thresholds bench_thresholds.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Threshold is the budget for one benchmark, keyed by its base name
+// (without the -GOMAXPROCS suffix).
+type Threshold struct {
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op"`
+	MaxBytesPerOp  int64 `json:"max_bytes_per_op"`
+}
+
+// Result is one parsed -benchmem line.
+type Result struct {
+	Name        string
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "benchmark output file (default stdin)")
+		thresholds = fs.String("thresholds", "bench_thresholds.json", "JSON file of per-benchmark budgets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	data, err := os.ReadFile(*thresholds)
+	if err != nil {
+		return err
+	}
+	budgets := make(map[string]Threshold)
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		return fmt.Errorf("%s: %w", *thresholds, err)
+	}
+	if len(budgets) == 0 {
+		return fmt.Errorf("%s: no budgets defined", *thresholds)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		budget := budgets[name]
+		res, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: expected benchmark missing from run", name))
+			continue
+		}
+		status := "ok"
+		if res.AllocsPerOp > budget.MaxAllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds budget %d",
+				name, res.AllocsPerOp, budget.MaxAllocsPerOp))
+			status = "FAIL"
+		}
+		if res.BytesPerOp > budget.MaxBytesPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d B/op exceeds budget %d",
+				name, res.BytesPerOp, budget.MaxBytesPerOp))
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%-32s %8d allocs/op (budget %d)  %10d B/op (budget %d)  %s\n",
+			name, res.AllocsPerOp, budget.MaxAllocsPerOp, res.BytesPerOp, budget.MaxBytesPerOp, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation budget violations:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// parseBench extracts -benchmem results keyed by base benchmark name.
+// A benchmark appearing multiple times (e.g. several -count runs) keeps
+// its worst observation, so flaky near-budget runs fail rather than pass.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Name: name, AllocsPerOp: -1, BytesPerOp: -1}
+		for i := 2; i < len(fields)-1; i++ {
+			switch fields[i+1] {
+			case "B/op":
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.BytesPerOp = v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					res.AllocsPerOp = v
+				}
+			}
+		}
+		if res.AllocsPerOp < 0 || res.BytesPerOp < 0 {
+			continue // not a -benchmem line
+		}
+		if prev, ok := out[name]; ok {
+			if prev.AllocsPerOp > res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+			if prev.BytesPerOp > res.BytesPerOp {
+				res.BytesPerOp = prev.BytesPerOp
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}

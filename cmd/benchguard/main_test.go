@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: botscope/internal/timeseries
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFit-4           	     138	   8123456 ns/op	   98896 B/op	      20 allocs/op
+BenchmarkAutoFit-4       	      66	  17200000 ns/op	   52089 B/op	      82 allocs/op
+BenchmarkDispersionSeries 	   10000	    116598 ns/op	    9024 B/op	       8 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"BenchmarkFit":              {Name: "BenchmarkFit", AllocsPerOp: 20, BytesPerOp: 98896},
+		"BenchmarkAutoFit":          {Name: "BenchmarkAutoFit", AllocsPerOp: 82, BytesPerOp: 52089},
+		"BenchmarkDispersionSeries": {Name: "BenchmarkDispersionSeries", AllocsPerOp: 8, BytesPerOp: 9024},
+	}
+	if len(results) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(results), len(want), results)
+	}
+	for name, w := range want {
+		if got := results[name]; got != w {
+			t.Errorf("%s = %+v, want %+v", name, got, w)
+		}
+	}
+}
+
+func TestParseBenchKeepsWorstOfRepeats(t *testing.T) {
+	repeated := "BenchmarkFit-4 10 100 ns/op 50 B/op 3 allocs/op\n" +
+		"BenchmarkFit-4 10 100 ns/op 90 B/op 1 allocs/op\n"
+	results, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results["BenchmarkFit"]
+	if got.AllocsPerOp != 3 || got.BytesPerOp != 90 {
+		t.Errorf("worst-of = %+v, want allocs 3 / bytes 90", got)
+	}
+}
+
+func writeThresholds(t *testing.T, budgets map[string]Threshold) string {
+	t.Helper()
+	data, err := json.Marshal(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "thresholds.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeBenchOutput(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.out")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassesWithinBudget(t *testing.T) {
+	th := writeThresholds(t, map[string]Threshold{
+		"BenchmarkFit": {MaxAllocsPerOp: 40, MaxBytesPerOp: 200000},
+	})
+	out := writeBenchOutput(t, sampleOutput)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", out, "-thresholds", th}, &buf); err != nil {
+		t.Fatalf("run failed within budget: %v\n%s", err, buf.String())
+	}
+}
+
+func TestRunFailsOverBudget(t *testing.T) {
+	th := writeThresholds(t, map[string]Threshold{
+		"BenchmarkFit": {MaxAllocsPerOp: 10, MaxBytesPerOp: 200000},
+	})
+	out := writeBenchOutput(t, sampleOutput)
+	var buf bytes.Buffer
+	err := run([]string{"-in", out, "-thresholds", th}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op exceeds budget") {
+		t.Fatalf("run = %v, want allocs budget violation", err)
+	}
+}
+
+func TestRunFailsOnMissingBenchmark(t *testing.T) {
+	th := writeThresholds(t, map[string]Threshold{
+		"BenchmarkRenamedAway": {MaxAllocsPerOp: 10, MaxBytesPerOp: 100},
+	})
+	out := writeBenchOutput(t, sampleOutput)
+	var buf bytes.Buffer
+	err := run([]string{"-in", out, "-thresholds", th}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "missing from run") {
+		t.Fatalf("run = %v, want missing-benchmark failure", err)
+	}
+}

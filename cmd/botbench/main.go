@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -75,9 +76,37 @@ func run(args []string, stdout io.Writer) error {
 		note     = fs.String("note", "", "free-form note recorded in the report")
 		commit   = fs.String("commit", "", "VCS revision recorded in the report")
 		skipAll  = fs.Bool("skip-experiments", false, "skip the per-experiment RunAll phase")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "botbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile shows steady state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "botbench: memprofile:", err)
+			}
+		}()
 	}
 
 	rep := &Report{

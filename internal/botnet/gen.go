@@ -58,6 +58,11 @@ type familyGen struct {
 	newCountries  []string
 	lastWeek      int
 
+	// catWeights and permBuf are per-draw scratch reused across attacks;
+	// they replace allocations only and never alter the RNG stream.
+	catWeights []float64
+	permBuf    []int
+
 	// symInit/symState implement the persistent symmetric/asymmetric
 	// formation regime (see nextSymmetric). curAnchor persists the source
 	// anchor country across a regime run so consecutive attacks share
@@ -346,10 +351,11 @@ func (g *familyGen) pickBotnet() dataset.BotnetID {
 // drawCategory consumes one unit of the per-protocol budget, keeping the
 // final per-category counts exactly at the Table II calibration.
 func (g *familyGen) drawCategory() dataset.Category {
-	weights := make([]float64, len(g.catOrder))
-	for i, c := range g.catOrder {
-		weights[i] = float64(g.catRemaining[c])
+	weights := g.catWeights[:0]
+	for _, c := range g.catOrder {
+		weights = append(weights, float64(g.catRemaining[c]))
 	}
+	g.catWeights = weights
 	i := WeightedChoice(g.rng, weights)
 	if i < 0 {
 		// Budget exhausted (possible only through rounding drift); fall
@@ -553,9 +559,21 @@ func (g *familyGen) distinctBotnets(n int) []dataset.BotnetID {
 	if n > len(g.botnets) {
 		n = len(g.botnets)
 	}
-	idx := g.rng.Perm(len(g.botnets))[:n]
+	// Inline rand.Perm into a reusable buffer. The loop mirrors the
+	// standard library exactly — including the i=0 iteration, whose
+	// Intn(1) call consumes a draw — so the RNG stream and the resulting
+	// permutation are unchanged.
+	if cap(g.permBuf) < len(g.botnets) {
+		g.permBuf = make([]int, len(g.botnets))
+	}
+	m := g.permBuf[:len(g.botnets)]
+	for i := 0; i < len(m); i++ {
+		j := g.rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
 	out := make([]dataset.BotnetID, n)
-	for i, j := range idx {
+	for i, j := range m[:n] {
 		out[i] = g.botnets[j].ID
 	}
 	return out

@@ -15,10 +15,11 @@ import (
 // city. Formations are drawn cluster-first so that the geolocation
 // dispersion of an attack is controllable.
 type cityCluster struct {
-	key    string // cc + "/" + city
-	cc     string
-	center geo.LatLon
-	bots   []*dataset.Bot
+	key     string // cc + "/" + city
+	cc      string
+	center  geo.LatLon
+	centerC geo.CachedPoint // center with precomputed trig, refreshed with it
+	bots    []*dataset.Bot
 }
 
 // Pool is one family's bot population: bots grouped into city clusters,
@@ -32,6 +33,19 @@ type Pool struct {
 	db        *geo.DB
 	used      map[netip.Addr]bool // per-family dedup set, owned by this pool
 	bots      []*dataset.Bot
+
+	// Per-formation scratch, reused across Formation calls. A pool emits
+	// one formation per attack — hundreds of thousands per family at full
+	// scale — so the per-call weight/candidate/key slices and the distinct-
+	// sampling dedup set are owned by the pool and recycled. None of these
+	// touch the RNG stream: they replace allocations, not draws.
+	weightBuf []float64
+	keyBuf    []float64
+	idxBuf    []int
+	candBuf   []*dataset.Bot
+	pickBuf   []*dataset.Bot
+	stamp     []int64 // sampleInto dedup stamps, indexed by cluster position
+	epoch     int64
 }
 
 // NewPool places size bots into the profile's source countries,
@@ -126,6 +140,7 @@ func (pool *Pool) recruit(cc string, n int) error {
 	// Refresh cluster centers.
 	for _, c := range pool.byCountry[cc] {
 		c.center = clusterCenter(c.bots)
+		c.centerC = geo.NewCachedPoint(c.center)
 	}
 	return nil
 }
@@ -175,10 +190,11 @@ func (pool *Pool) anchorCluster(cc string) *cityCluster {
 	if len(clusters) == 0 {
 		return nil
 	}
-	weights := make([]float64, len(clusters))
-	for i, c := range clusters {
-		weights[i] = float64(len(c.bots))
+	weights := pool.weightBuf[:0]
+	for _, c := range clusters {
+		weights = append(weights, float64(len(c.bots)))
 	}
+	pool.weightBuf = weights
 	i := WeightedChoice(pool.rng, weights)
 	if i < 0 {
 		i = 0
@@ -233,23 +249,37 @@ func (pool *Pool) symmetricPick(c *cityCluster, size int) []*dataset.Bot {
 	if candN > len(c.bots) {
 		candN = len(c.bots)
 	}
-	cands := pool.sampleDistinct(c, candN)
-	sort.Slice(cands, func(i, j int) bool {
-		di := geo.SignedDistance(c.center, geo.LatLon{Lat: cands[i].Lat, Lon: cands[i].Lon})
-		dj := geo.SignedDistance(c.center, geo.LatLon{Lat: cands[j].Lat, Lon: cands[j].Lon})
-		return di < dj
-	})
+	cands := pool.sampleInto(pool.candBuf[:0], c, candN)
+	pool.candBuf = cands
+	// Sort candidates by their signed distance from the cluster center,
+	// computing each key once: the old comparator re-derived two
+	// Haversines per comparison, which made the sort the dominant cost of
+	// symmetric formations. Sorting an index slice with the same
+	// comparison outcomes yields the same permutation sort.Slice produced
+	// when it moved the candidates directly.
+	keys := pool.keyBuf[:0]
+	for _, b := range cands {
+		keys = append(keys, geo.SignedDistance(c.center, geo.LatLon{Lat: b.Lat, Lon: b.Lon}))
+	}
+	pool.keyBuf = keys
+	idx := pool.idxBuf[:0]
+	for i := range cands {
+		idx = append(idx, i)
+	}
+	pool.idxBuf = idx
+	sort.Slice(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
 	// Take balanced pairs from the two ends.
-	picked := make([]*dataset.Bot, 0, size)
+	picked := pool.pickBuf[:0]
 	lo, hi := 0, len(cands)-1
 	for len(picked)+1 < size && lo < hi {
-		picked = append(picked, cands[lo], cands[hi])
+		picked = append(picked, cands[idx[lo]], cands[idx[hi]])
 		lo++
 		hi--
 	}
 	if len(picked) < size && lo <= hi {
-		picked = append(picked, cands[(lo+hi)/2])
+		picked = append(picked, cands[idx[(lo+hi)/2]])
 	}
+	pool.pickBuf = picked
 	return picked
 }
 
@@ -266,43 +296,48 @@ func (pool *Pool) asymmetricPick(anchor *cityCluster, size int, targetDispKm flo
 	}
 	offN := size - mainN
 	offset := pool.clusterForDispersion(anchor, mainN, offN, targetDispKm)
-	picked := pool.pickFrom(anchor, mainN)
+	picked := pool.pickFrom(pool.pickBuf[:0], anchor, mainN)
 	if offset != nil && offN > 0 {
-		picked = append(picked, pool.pickFrom(offset, offN)...)
+		picked = pool.pickFrom(picked, offset, offN)
 	} else if offN > 0 {
-		picked = append(picked, pool.pickFrom(anchor, offN)...)
+		picked = pool.pickFrom(picked, anchor, offN)
 	}
+	pool.pickBuf = picked
 	return picked
 }
 
-// pickFrom draws up to n distinct bots from one cluster.
-func (pool *Pool) pickFrom(c *cityCluster, n int) []*dataset.Bot {
+// pickFrom appends up to n distinct bots from one cluster to dst.
+func (pool *Pool) pickFrom(dst []*dataset.Bot, c *cityCluster, n int) []*dataset.Bot {
 	if n > len(c.bots) {
 		n = len(c.bots)
 	}
-	return pool.sampleDistinct(c, n)
+	return pool.sampleInto(dst, c, n)
 }
 
-// sampleDistinct draws n distinct bots from a cluster without permuting
-// the whole slice (clusters can hold tens of thousands of bots; a full
-// Perm per attack would dominate generation time).
-func (pool *Pool) sampleDistinct(c *cityCluster, n int) []*dataset.Bot {
+// sampleInto appends n distinct bots from a cluster to dst without
+// permuting the whole slice (clusters can hold tens of thousands of bots;
+// a full Perm per attack would dominate generation time). The rejection
+// dedup uses the pool's epoch-stamped scratch array instead of a per-call
+// set; the sequence of Intn draws and retries is exactly the old one.
+func (pool *Pool) sampleInto(dst []*dataset.Bot, c *cityCluster, n int) []*dataset.Bot {
 	if n >= len(c.bots) {
-		out := make([]*dataset.Bot, len(c.bots))
-		copy(out, c.bots)
-		return out
+		return append(dst, c.bots...)
 	}
-	seen := make(map[int]bool, n)
-	out := make([]*dataset.Bot, 0, n)
-	for len(out) < n {
+	if len(pool.stamp) < len(c.bots) {
+		pool.stamp = make([]int64, len(c.bots))
+	}
+	pool.epoch++
+	added := 0
+	for added < n {
 		i := pool.rng.Intn(len(c.bots))
-		if seen[i] {
+		if pool.stamp[i] == pool.epoch {
 			continue
 		}
-		seen[i] = true
-		out = append(out, c.bots[i])
+		pool.stamp[i] = pool.epoch
+		dst = append(dst, c.bots[i])
+		added++
 	}
-	return out
+	return dst
 }
 
 // clusterForDispersion finds the offset cluster whose two-cluster formation
@@ -337,7 +372,7 @@ func (pool *Pool) clusterForDispersion(anchor *cityCluster, m1, m2 int, wantKm f
 		if len(c.bots) < m2eff {
 			m2eff = len(c.bots)
 		}
-		d := PredictDispersion(anchor.center, c.center, m1, m2eff)
+		d := predictDispersionCached(anchor.centerC, c.centerC, m1, m2eff)
 		diff := d - wantKm
 		if diff < 0 {
 			diff = -diff
@@ -362,6 +397,25 @@ func PredictDispersion(a, b geo.LatLon, m1, m2 int) float64 {
 		return 0
 	}
 	sum := float64(m1)*geo.SignedDistance(center, a) + float64(m2)*geo.SignedDistance(center, b)
+	if sum < 0 {
+		return -sum
+	}
+	return sum
+}
+
+// predictDispersionCached is PredictDispersion over precomputed cluster
+// centers; bit-identical to PredictDispersion(a.Deg, b.Deg, m1, m2). The
+// offset-cluster search evaluates every cluster against a fixed anchor per
+// attack, so the cached trig halves that loop's math.
+func predictDispersionCached(a, b geo.CachedPoint, m1, m2 int) float64 {
+	if m1 <= 0 && m2 <= 0 {
+		return 0
+	}
+	center, ok := geo.WeightedCenterCached(a, b, float64(m1), float64(m2))
+	if !ok {
+		return 0
+	}
+	sum := float64(m1)*geo.SignedDistanceTo(center, a) + float64(m2)*geo.SignedDistanceTo(center, b)
 	if sum < 0 {
 		return -sum
 	}

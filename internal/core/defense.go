@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"net/netip"
 	"sort"
 	"time"
@@ -65,16 +66,25 @@ func (b *Blacklist) Truncate(maxSize int) *Blacklist {
 // BuildBlacklist ranks every bot seen in attacks starting inside
 // [from, to) by participation and keeps the top maxSize entries
 // (0 = keep everything). Zero times extend to the workload bounds.
+//
+// Accumulation runs over the store's dense bot index: a counts array plus
+// a per-bot family bitset replace the map of per-IP accumulators the old
+// scan allocated for every distinct bot. The ranking comparator is total
+// (ties break on IP), so the entries are identical to the map-based build.
 func BuildBlacklist(s *dataset.Store, from, to time.Time, maxSize int) (*Blacklist, error) {
 	attacks := s.Attacks()
 	if len(attacks) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
-	type acc struct {
-		count    int
-		families map[dataset.Family]bool
+	ix := s.BotDense()
+	fams := s.Families()
+	famBit := make(map[dataset.Family]int, len(fams))
+	for i, f := range fams {
+		famBit[f] = i
 	}
-	seen := make(map[netip.Addr]*acc)
+	famWords := (len(fams) + 63) / 64
+	counts := make([]int32, ix.NumIDs())
+	famSets := make([]uint64, ix.NumIDs()*famWords)
 	for _, a := range attacks {
 		if !from.IsZero() && a.Start.Before(from) {
 			continue
@@ -82,22 +92,32 @@ func BuildBlacklist(s *dataset.Store, from, to time.Time, maxSize int) (*Blackli
 		if !to.IsZero() && !a.Start.Before(to) {
 			continue
 		}
-		for _, ip := range a.BotIPs {
-			e := seen[ip]
-			if e == nil {
-				e = &acc{families: make(map[dataset.Family]bool, 1)}
-				seen[ip] = e
-			}
-			e.count++
-			e.families[a.Family] = true
+		bit := famBit[a.Family]
+		word, mask := bit/64, uint64(1)<<(bit%64)
+		for _, id := range ix.Refs(a) {
+			counts[id]++
+			famSets[int(id)*famWords+word] |= mask
 		}
 	}
-	if len(seen) == 0 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total++
+		}
+	}
+	if total == 0 {
 		return nil, fmt.Errorf("core: no attacks inside the training window")
 	}
-	entries := make([]BlacklistEntry, 0, len(seen))
-	for ip, e := range seen {
-		entries = append(entries, BlacklistEntry{IP: ip, Occurrences: e.count, Families: len(e.families)})
+	entries := make([]BlacklistEntry, 0, total)
+	for id, c := range counts {
+		if c == 0 {
+			continue
+		}
+		nf := 0
+		for w := 0; w < famWords; w++ {
+			nf += bits.OnesCount64(famSets[id*famWords+w])
+		}
+		entries = append(entries, BlacklistEntry{IP: ix.IP(int32(id)), Occurrences: int(c), Families: nf})
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Occurrences != entries[j].Occurrences {
@@ -134,16 +154,29 @@ type BlacklistEvaluation struct {
 
 // EvaluateBlacklist replays the attacks starting inside [from, to) against
 // the blacklist. Zero times extend to the workload bounds.
+//
+// Membership is projected onto the dense bot index once up front — a
+// bool per distinct bot — so the replay tests each of the millions of bot
+// references with an array load instead of a map probe. Blacklist entries
+// absent from the index cannot match any reference, so dropping them from
+// the projection changes nothing.
 func EvaluateBlacklist(s *dataset.Store, bl *Blacklist, from, to time.Time) (BlacklistEvaluation, error) {
 	if bl == nil || bl.Len() == 0 {
 		return BlacklistEvaluation{}, fmt.Errorf("core: empty blacklist")
 	}
+	ix := s.BotDense()
+	listed := make([]bool, ix.NumIDs())
+	for _, e := range bl.entries {
+		if id, ok := ix.ID(e.IP); ok {
+			listed[id] = true
+		}
+	}
 	var (
-		out       BlacklistEvaluation
-		refs      int
-		blocked   int
-		perAttack []float64
+		out     BlacklistEvaluation
+		refs    int
+		blocked int
 	)
+	perAttack := make([]float64, 0, s.NumAttacks())
 	for _, a := range s.Attacks() {
 		if !from.IsZero() && a.Start.Before(from) {
 			continue
@@ -153,9 +186,9 @@ func EvaluateBlacklist(s *dataset.Store, bl *Blacklist, from, to time.Time) (Bla
 		}
 		out.Attacks++
 		hit := 0
-		for _, ip := range a.BotIPs {
+		for _, id := range ix.Refs(a) {
 			refs++
-			if bl.Contains(ip) {
+			if listed[id] {
 				blocked++
 				hit++
 			}

@@ -41,6 +41,28 @@ func NewDispersionIndex(s *dataset.Store) *DispersionIndex {
 	}
 }
 
+var (
+	dispMemoMu    sync.Mutex
+	dispMemoStore *dataset.Store   // guarded by dispMemoMu
+	dispMemoIx    *DispersionIndex // guarded by dispMemoMu
+)
+
+// IndexFor returns a memoized DispersionIndex for s, so package-level
+// entry points that don't thread a Workloads value (ActiveDispersion-
+// Families, TransferPredict) still share series across calls. Exactly one
+// store is cached — the one most recently asked about — which covers the
+// realistic access pattern (one store per process) with a bounded
+// footprint; switching stores just drops the previous index.
+func IndexFor(s *dataset.Store) *DispersionIndex {
+	dispMemoMu.Lock()
+	defer dispMemoMu.Unlock()
+	if dispMemoStore != s {
+		dispMemoStore = s
+		dispMemoIx = NewDispersionIndex(s)
+	}
+	return dispMemoIx
+}
+
 // Store returns the underlying store.
 func (ix *DispersionIndex) Store() *dataset.Store { return ix.store }
 

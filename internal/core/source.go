@@ -26,15 +26,23 @@ type DispersionPoint struct {
 // chronological order (the raw series behind Figs 9-13). Bots whose IPs
 // cannot be resolved in the Botlist are skipped; attacks with no
 // resolvable bots are dropped.
+//
+// The scan runs on the store's dense bot index: resolving a bot is an
+// array load instead of a map lookup, its trigonometry is precomputed,
+// and one scratch buffer serves every attack in the family — the loop
+// allocates nothing beyond the result slice once the scratch has grown to
+// the largest formation.
 func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
 	attacks := s.ByFamily(f)
+	ix := s.BotDense()
 	out := make([]DispersionPoint, 0, len(attacks))
+	var scratch []geo.CachedPoint
 	for _, a := range attacks {
-		pts := botPoints(s, a)
-		if len(pts) == 0 {
+		scratch = appendBotPoints(scratch[:0], ix, a)
+		if len(scratch) == 0 {
 			continue
 		}
-		d, ok := geo.Dispersion(pts)
+		d, ok := geo.DispersionCached(scratch)
 		if !ok {
 			continue
 		}
@@ -43,14 +51,15 @@ func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
 	return out
 }
 
-func botPoints(s *dataset.Store, a *dataset.Attack) []geo.LatLon {
-	pts := make([]geo.LatLon, 0, len(a.BotIPs))
-	for _, ip := range a.BotIPs {
-		if b, ok := s.Bot(ip); ok {
-			pts = append(pts, geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+// appendBotPoints appends the attack's resolvable bot locations to dst,
+// in BotIPs order — the dense-index equivalent of the old botPoints.
+func appendBotPoints(dst []geo.CachedPoint, ix *dataset.BotIndex, a *dataset.Attack) []geo.CachedPoint {
+	for _, id := range ix.Refs(a) {
+		if ix.Rec(id) != nil {
+			dst = append(dst, ix.Point(id))
 		}
 	}
-	return pts
+	return dst
 }
 
 // DispersionValues strips a series down to its float values.
@@ -84,7 +93,7 @@ func profileFromSeries(f dataset.Family, series []DispersionPoint) (DispersionPr
 	if len(series) == 0 {
 		return DispersionProfile{}, fmt.Errorf("core: family %s has no dispersion data", f)
 	}
-	var asym []float64
+	asym := make([]float64, 0, len(series))
 	symmetric := 0
 	for _, p := range series {
 		if p.Value <= SymmetryToleranceKm {
@@ -121,7 +130,7 @@ func DispersionHistogram(s *dataset.Store, f dataset.Family, bins int) (*stats.H
 }
 
 func histogramFromSeries(f dataset.Family, series []DispersionPoint, bins int) (*stats.Histogram, error) {
-	var asym []float64
+	asym := make([]float64, 0, len(series))
 	for _, p := range series {
 		if p.Value > SymmetryToleranceKm {
 			asym = append(asym, p.Value)
@@ -142,10 +151,13 @@ func histogramFromSeries(f dataset.Family, series []DispersionPoint, bins int) (
 // ActiveDispersionFamilies returns the families with at least minPoints
 // dispersion observations, sorted by count descending. Fig 9 reports the
 // six families with >= 10 snapshots.
+//
+// The per-family series are served from IndexFor's memoized
+// DispersionIndex: callers outside the Workloads plumbing (report tools,
+// ad-hoc filters) used to recompute every family's series on each call,
+// which made this the most expensive "cheap" query in the package.
 func ActiveDispersionFamilies(s *dataset.Store, minPoints int) []dataset.Family {
-	return activeFamiliesFrom(s.Families(), func(f dataset.Family) []DispersionPoint {
-		return DispersionSeries(s, f)
-	}, minPoints)
+	return IndexFor(s).ActiveFamilies(minPoints)
 }
 
 func activeFamiliesFrom(families []dataset.Family, seriesOf func(dataset.Family) []DispersionPoint, minPoints int) []dataset.Family {
@@ -178,13 +190,15 @@ func activeFamiliesFrom(families []dataset.Family, seriesOf func(dataset.Family)
 // targets is about 3,500 km" observation.
 func AttackerTargetDistance(s *dataset.Store, f dataset.Family) []float64 {
 	attacks := s.ByFamily(f)
+	ix := s.BotDense()
 	out := make([]float64, 0, len(attacks))
+	var scratch []geo.CachedPoint
 	for _, a := range attacks {
-		pts := botPoints(s, a)
-		if len(pts) == 0 {
+		scratch = appendBotPoints(scratch[:0], ix, a)
+		if len(scratch) == 0 {
 			continue
 		}
-		center, ok := geo.Center(pts)
+		center, ok := geo.CenterCached(scratch)
 		if !ok {
 			continue
 		}

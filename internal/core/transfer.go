@@ -32,10 +32,13 @@ type TransferResult struct {
 
 // TransferPredict fits ARIMA on source's dispersion series and evaluates
 // it one-step-ahead on target's series (second half), against a natively
-// fitted reference. Both families need at least minSeries points.
+// fitted reference. Both families need at least minSeries points. The
+// series come from IndexFor's memoized index, so repeated pairs over the
+// same store never recompute a family's dispersion scan.
 func TransferPredict(s *dataset.Store, source, target dataset.Family, order timeseries.Order, minSeries int) (*TransferResult, error) {
-	src := DispersionValues(DispersionSeries(s, source))
-	tgt := DispersionValues(DispersionSeries(s, target))
+	ix := IndexFor(s)
+	src := DispersionValues(ix.Series(source))
+	tgt := DispersionValues(ix.Series(target))
 	return transferFromSeries(source, target, src, tgt, order, minSeries)
 }
 

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"net/netip"
+
+	"botscope/internal/geo"
+)
+
+// BotIndex is the store's dense bot addressing layer: every IP that
+// appears in any attack's source set gets one int32 id, assigned in
+// attack order (deterministic, since attacks are sorted). The analysis
+// kernels that used to resolve map[netip.Addr]*Bot per bot reference —
+// dispersion scans, Table III's distinct-entity counts, Figure 8's weekly
+// dedup, the blacklist builder — instead walk flat arrays indexed by id:
+// a hash lookup per 24-byte key becomes an array load, and per-bot
+// geolocation trigonometry is precomputed once for the store's lifetime.
+//
+// All fields are written once inside Store.botOnce and immutable after,
+// so an index is safe for concurrent readers; returned slices are shared
+// and must not be modified.
+type BotIndex struct {
+	ids  map[netip.Addr]int32 // ip -> dense id
+	ips  []netip.Addr         // id -> ip
+	recs []*Bot               // id -> Botlist record; nil when unresolved
+	pts  []geo.CachedPoint    // id -> cached location; zero when unresolved
+	refs []int32              // per-attack id spans, concatenated in attack order
+	offs map[DDoSID]int       // attack -> offset of its span in refs
+}
+
+// BotDense returns the store's dense bot index, building it on first use.
+func (s *Store) BotDense() *BotIndex {
+	s.botOnce.Do(s.buildBotIndex)
+	return s.botIdx
+}
+
+func (s *Store) buildBotIndex() {
+	totalRefs := 0
+	for _, a := range s.attacks {
+		totalRefs += len(a.BotIPs)
+	}
+	ix := &BotIndex{
+		ids:  make(map[netip.Addr]int32, len(s.bots)),
+		offs: make(map[DDoSID]int, len(s.attacks)),
+		refs: make([]int32, 0, totalRefs),
+	}
+	for _, a := range s.attacks {
+		ix.offs[a.ID] = len(ix.refs)
+		for _, ip := range a.BotIPs {
+			id, ok := ix.ids[ip]
+			if !ok {
+				id = int32(len(ix.ips))
+				ix.ids[ip] = id
+				ix.ips = append(ix.ips, ip)
+			}
+			ix.refs = append(ix.refs, id)
+		}
+	}
+	ix.recs = make([]*Bot, len(ix.ips))
+	ix.pts = make([]geo.CachedPoint, len(ix.ips))
+	for i, ip := range ix.ips {
+		if b, ok := s.bots[ip]; ok {
+			ix.recs[i] = b
+			ix.pts[i] = geo.NewCachedPoint(geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+		}
+	}
+	s.botIdx = ix
+}
+
+// NumIDs returns the number of distinct bot IPs across all attacks.
+func (ix *BotIndex) NumIDs() int { return len(ix.ips) }
+
+// ID resolves an IP to its dense id.
+func (ix *BotIndex) ID(ip netip.Addr) (int32, bool) {
+	id, ok := ix.ids[ip]
+	return id, ok
+}
+
+// IP returns the address of a dense id.
+func (ix *BotIndex) IP(id int32) netip.Addr { return ix.ips[id] }
+
+// Rec returns the Botlist record of a dense id, or nil when the IP never
+// resolved in the Botlist.
+func (ix *BotIndex) Rec(id int32) *Bot { return ix.recs[id] }
+
+// Point returns the precomputed location of a resolved dense id. The
+// value is meaningful only when Rec(id) != nil.
+func (ix *BotIndex) Point(id int32) geo.CachedPoint { return ix.pts[id] }
+
+// Refs returns the attack's source set as dense ids, aligned with
+// a.BotIPs. It returns nil for attacks not belonging to this store.
+func (ix *BotIndex) Refs(a *Attack) []int32 {
+	off, ok := ix.offs[a.ID]
+	if !ok {
+		return nil
+	}
+	return ix.refs[off : off+len(a.BotIPs)]
+}

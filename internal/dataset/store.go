@@ -34,6 +34,8 @@ type Store struct {
 	familyCounts []FamilyCount // written once inside famOnce.Do; immutable after
 	tgtOnce      sync.Once
 	targets      []netip.Addr // written once inside tgtOnce.Do; immutable after
+	botOnce      sync.Once
+	botIdx       *BotIndex // written once inside botOnce.Do; immutable after
 }
 
 // FamilyCount pairs a family with its attack count, ordered by family.
@@ -213,100 +215,106 @@ type SummaryCounts struct {
 	TargetASNs      int
 }
 
-// summaryShard holds the distinct-entity sets of one contiguous attack
-// range; shards merge by set union, so the result is independent of how
-// the attack list is split.
+// placeKey identifies a city within its country. The old scan keyed city
+// sets on the concatenation cc+"/"+city, which allocated a string per
+// visit; distinct (cc, city) pairs are exactly the distinct concatenations
+// because country codes never contain '/'.
+type placeKey struct {
+	cc   string
+	city string
+}
+
+// summaryShard holds the target-side distinct-entity sets of one
+// contiguous attack range; shards merge by set union, so the result is
+// independent of how the attack list is split. The attacker side no
+// longer lives here: bot identity questions are answered by the dense
+// BotIndex instead of re-deduplicating millions of references per scan.
 type summaryShard struct {
-	botIPs    map[netip.Addr]bool
-	botnets   map[BotnetID]bool
-	types     map[Category]bool
-	srcCC     map[string]bool
-	srcCity   map[string]bool
-	srcOrg    map[string]bool
-	srcASN    map[int]bool
-	tgtIPs    map[netip.Addr]bool
-	tgtCC     map[string]bool
-	tgtCities map[string]bool
-	tgtOrgs   map[string]bool
-	tgtASNs   map[int]bool
+	types     map[Category]struct{}
+	tgtCC     map[string]struct{}
+	tgtCities map[placeKey]struct{}
+	tgtOrgs   map[string]struct{}
+	tgtASNs   map[int]struct{}
 }
 
 func newSummaryShard() *summaryShard {
 	return &summaryShard{
-		botIPs:    make(map[netip.Addr]bool),
-		botnets:   make(map[BotnetID]bool),
-		types:     make(map[Category]bool),
-		srcCC:     make(map[string]bool),
-		srcCity:   make(map[string]bool),
-		srcOrg:    make(map[string]bool),
-		srcASN:    make(map[int]bool),
-		tgtIPs:    make(map[netip.Addr]bool),
-		tgtCC:     make(map[string]bool),
-		tgtCities: make(map[string]bool),
-		tgtOrgs:   make(map[string]bool),
-		tgtASNs:   make(map[int]bool),
+		types:     make(map[Category]struct{}, 8),
+		tgtCC:     make(map[string]struct{}, 64),
+		tgtCities: make(map[placeKey]struct{}, 256),
+		tgtOrgs:   make(map[string]struct{}, 256),
+		tgtASNs:   make(map[int]struct{}, 256),
 	}
 }
 
-func (sh *summaryShard) add(s *Store, a *Attack) {
-	sh.botnets[a.BotnetID] = true
-	sh.types[a.Category] = true
-	sh.tgtIPs[a.TargetIP] = true
-	sh.tgtCC[a.TargetCountry] = true
-	sh.tgtCities[a.TargetCountry+"/"+a.TargetCity] = true
-	sh.tgtOrgs[a.TargetOrg] = true
-	sh.tgtASNs[a.TargetASN] = true
-	for _, ip := range a.BotIPs {
-		if sh.botIPs[ip] {
-			continue
-		}
-		sh.botIPs[ip] = true
-		if b, ok := s.bots[ip]; ok {
-			sh.srcCC[b.CountryCode] = true
-			sh.srcCity[b.CountryCode+"/"+b.City] = true
-			sh.srcOrg[b.Org] = true
-			sh.srcASN[b.ASN] = true
-		}
-	}
+func (sh *summaryShard) add(a *Attack) {
+	sh.types[a.Category] = struct{}{}
+	sh.tgtCC[a.TargetCountry] = struct{}{}
+	sh.tgtCities[placeKey{a.TargetCountry, a.TargetCity}] = struct{}{}
+	sh.tgtOrgs[a.TargetOrg] = struct{}{}
+	sh.tgtASNs[a.TargetASN] = struct{}{}
 }
 
 func (sh *summaryShard) merge(o *summaryShard) {
-	union := func(dst, src map[string]bool) {
-		for k := range src {
-			dst[k] = true
-		}
-	}
-	for k := range o.botIPs {
-		sh.botIPs[k] = true
-	}
-	for k := range o.botnets {
-		sh.botnets[k] = true
-	}
 	for k := range o.types {
-		sh.types[k] = true
+		sh.types[k] = struct{}{}
 	}
-	for k := range o.tgtIPs {
-		sh.tgtIPs[k] = true
+	for k := range o.tgtCC {
+		sh.tgtCC[k] = struct{}{}
 	}
-	for k := range o.srcASN {
-		sh.srcASN[k] = true
+	for k := range o.tgtCities {
+		sh.tgtCities[k] = struct{}{}
+	}
+	for k := range o.tgtOrgs {
+		sh.tgtOrgs[k] = struct{}{}
 	}
 	for k := range o.tgtASNs {
-		sh.tgtASNs[k] = true
+		sh.tgtASNs[k] = struct{}{}
 	}
-	union(sh.srcCC, o.srcCC)
-	union(sh.srcCity, o.srcCity)
-	union(sh.srcOrg, o.srcOrg)
-	union(sh.tgtCC, o.tgtCC)
-	union(sh.tgtCities, o.tgtCities)
-	union(sh.tgtOrgs, o.tgtOrgs)
+}
+
+// srcShard holds the source-side distinct-entity sets of one contiguous
+// dense-id range. Each distinct bot is visited exactly once per summary
+// (the BotIndex already deduplicated attack references), so the pass is
+// linear in distinct bots rather than in total bot references.
+type srcShard struct {
+	cc   map[string]struct{}
+	city map[placeKey]struct{}
+	org  map[string]struct{}
+	asn  map[int]struct{}
+}
+
+func newSrcShard() *srcShard {
+	return &srcShard{
+		cc:   make(map[string]struct{}, 64),
+		city: make(map[placeKey]struct{}, 1024),
+		org:  make(map[string]struct{}, 1024),
+		asn:  make(map[int]struct{}, 1024),
+	}
+}
+
+func (sh *srcShard) merge(o *srcShard) {
+	for k := range o.cc {
+		sh.cc[k] = struct{}{}
+	}
+	for k := range o.city {
+		sh.city[k] = struct{}{}
+	}
+	for k := range o.org {
+		sh.org[k] = struct{}{}
+	}
+	for k := range o.asn {
+		sh.asn[k] = struct{}{}
+	}
 }
 
 // Summary computes Table III's counts over the full workload. Source-side
 // entity counts come from the Botlist records of the bots that appear in
-// attacks; target-side counts come from the attack records. The scan is
-// sharded across contiguous attack ranges and merged by set union, so the
-// counts are identical to a sequential pass.
+// attacks; target-side counts come from the attack records. Identity
+// counts (attacks, botnets, bot IPs, target IPs) fall out of the store's
+// standing indexes; the remaining distinct sets are sharded across
+// contiguous ranges and merged by set union, so the counts are identical
+// to a sequential pass.
 func (s *Store) Summary() SummaryCounts {
 	return s.SummaryWorkers(0)
 }
@@ -314,30 +322,48 @@ func (s *Store) Summary() SummaryCounts {
 // SummaryWorkers is Summary with an explicit worker count (0 = all
 // cores, 1 = sequential).
 func (s *Store) SummaryWorkers(workers int) SummaryCounts {
-	shards := par.ChunkMap(workers, len(s.attacks), func(lo, hi int) *summaryShard {
+	ix := s.BotDense()
+	tgtShards := par.ChunkMap(workers, len(s.attacks), func(lo, hi int) *summaryShard {
 		sh := newSummaryShard()
 		for _, a := range s.attacks[lo:hi] {
-			sh.add(s, a)
+			sh.add(a)
 		}
 		return sh
 	})
-	total := newSummaryShard()
-	for _, sh := range shards {
-		total.merge(sh)
+	srcShards := par.ChunkMap(workers, ix.NumIDs(), func(lo, hi int) *srcShard {
+		sh := newSrcShard()
+		for _, b := range ix.recs[lo:hi] {
+			if b == nil {
+				continue
+			}
+			sh.cc[b.CountryCode] = struct{}{}
+			sh.city[placeKey{b.CountryCode, b.City}] = struct{}{}
+			sh.org[b.Org] = struct{}{}
+			sh.asn[b.ASN] = struct{}{}
+		}
+		return sh
+	})
+	tgt := newSummaryShard()
+	for _, sh := range tgtShards {
+		tgt.merge(sh)
+	}
+	src := newSrcShard()
+	for _, sh := range srcShards {
+		src.merge(sh)
 	}
 	return SummaryCounts{
 		Attacks:         len(s.attacks),
-		Botnets:         len(total.botnets),
-		TrafficTypes:    len(total.types),
-		BotIPs:          len(total.botIPs),
-		SourceCountries: len(total.srcCC),
-		SourceCities:    len(total.srcCity),
-		SourceOrgs:      len(total.srcOrg),
-		SourceASNs:      len(total.srcASN),
-		TargetIPs:       len(total.tgtIPs),
-		TargetCountries: len(total.tgtCC),
-		TargetCities:    len(total.tgtCities),
-		TargetOrgs:      len(total.tgtOrgs),
-		TargetASNs:      len(total.tgtASNs),
+		Botnets:         len(s.byBotnet),
+		TrafficTypes:    len(tgt.types),
+		BotIPs:          ix.NumIDs(),
+		SourceCountries: len(src.cc),
+		SourceCities:    len(src.city),
+		SourceOrgs:      len(src.org),
+		SourceASNs:      len(src.asn),
+		TargetIPs:       len(s.byTarget),
+		TargetCountries: len(tgt.tgtCC),
+		TargetCities:    len(tgt.tgtCities),
+		TargetOrgs:      len(tgt.tgtOrgs),
+		TargetASNs:      len(tgt.tgtASNs),
 	}
 }

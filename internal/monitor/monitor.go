@@ -6,7 +6,6 @@ package monitor
 
 import (
 	"fmt"
-	"net/netip"
 	"sort"
 	"time"
 
@@ -76,12 +75,13 @@ func (c *Collector) HourlyReports(family dataset.Family) ([]HourlyReport, error)
 		return i
 	}
 
+	ix := c.store.BotDense()
 	for _, a := range attacks {
 		countries := make(map[string]int)
 		refs := 0
-		for _, ip := range a.BotIPs {
+		for _, id := range ix.Refs(a) {
 			refs++
-			if b, ok := c.store.Bot(ip); ok {
+			if b := ix.Rec(id); b != nil {
 				countries[b.CountryCode]++
 			}
 		}
@@ -185,6 +185,13 @@ func (w WeekStats) NewShift() int {
 
 // WeeklySources computes the week-by-week source aggregation for a family.
 // An error is returned when the family has no attacks.
+//
+// The family's attacks arrive sorted by start time, so week indexes are
+// nondecreasing along the scan. That ordering invariant lets a single
+// stamp array over the dense bot index ("which week was this bot last
+// counted in") replace the per-week map[ip]country the old scan built —
+// no per-bot map writes, no per-week map allocations, and unresolved bots
+// still deduplicate without being counted, exactly as before.
 func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
 	attacks := c.store.ByFamily(family)
 	if len(attacks) == 0 {
@@ -194,34 +201,16 @@ func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
 	weekOf := func(t time.Time) int {
 		return int(t.Sub(first).Hours() / (24 * 7))
 	}
-	perWeek := make(map[int]map[netip.Addr]string) // week -> bot -> country
-	for _, a := range attacks {
-		w := weekOf(a.Start)
-		if perWeek[w] == nil {
-			perWeek[w] = make(map[netip.Addr]string)
-		}
-		for _, ip := range a.BotIPs {
-			cc := ""
-			if b, ok := c.store.Bot(ip); ok {
-				cc = b.CountryCode
-			}
-			perWeek[w][ip] = cc
-		}
-	}
-	weeks := make([]int, 0, len(perWeek))
-	for w := range perWeek {
-		weeks = append(weeks, w)
-	}
-	sort.Ints(weeks)
+	ix := c.store.BotDense()
+	stamp := make([]int32, ix.NumIDs()) // 0 = never seen; week+1 otherwise
 
 	seen := make(map[string]bool)
-	out := make([]WeekStats, 0, len(weeks))
-	for _, w := range weeks {
-		byCountry := make(map[string]int)
-		for _, cc := range perWeek[w] {
-			if cc != "" {
-				byCountry[cc]++
-			}
+	out := make([]WeekStats, 0, 8)
+	curWeek := -1
+	var byCountry map[string]int
+	flush := func() {
+		if curWeek < 0 {
+			return
 		}
 		var fresh []string
 		for cc := range byCountry {
@@ -233,7 +222,25 @@ func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
 		for _, cc := range fresh {
 			seen[cc] = true
 		}
-		out = append(out, WeekStats{Week: w, BotsByCountry: byCountry, NewCountries: fresh})
+		out = append(out, WeekStats{Week: curWeek, BotsByCountry: byCountry, NewCountries: fresh})
 	}
+	for _, a := range attacks {
+		w := weekOf(a.Start)
+		if w != curWeek {
+			flush()
+			curWeek = w
+			byCountry = make(map[string]int)
+		}
+		for _, id := range ix.Refs(a) {
+			if stamp[id] == int32(w+1) {
+				continue
+			}
+			stamp[id] = int32(w + 1)
+			if b := ix.Rec(id); b != nil {
+				byCountry[b.CountryCode]++
+			}
+		}
+	}
+	flush()
 	return out, nil
 }

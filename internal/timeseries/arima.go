@@ -51,10 +51,39 @@ type Model struct {
 	diffed []float64 // differenced, for forecasting state
 }
 
+// fitScratch is the working memory of one fit (or one AutoFit grid): the
+// CSS residual buffer reused by every objective evaluation. Nelder-Mead
+// calls the objective thousands of times per fit, so allocating the
+// residual slice inside cssObjective used to dominate the fit's profile.
+type fitScratch struct {
+	resid []float64
+}
+
+func (sc *fitScratch) residBuf(n int) []float64 {
+	if cap(sc.resid) < n {
+		sc.resid = make([]float64, n)
+	}
+	return sc.resid[:n]
+}
+
 // Fit estimates an ARIMA model on xs by conditional sum of squares.
 // AR coefficients start at Yule-Walker estimates, MA coefficients at zero,
 // and Nelder-Mead refines everything jointly.
 func Fit(xs []float64, order Order) (*Model, error) {
+	m, err := fitDiffed(xs, nil, order, nil, &fitScratch{})
+	if err != nil {
+		return nil, err
+	}
+	m.series = append([]float64(nil), xs...)
+	return m, nil
+}
+
+// fitDiffed is Fit over a possibly pre-differenced series. w may be nil
+// (it is then derived from xs), warm may be nil (Yule-Walker cold start),
+// and sc supplies reusable working memory. The returned model has no
+// series copy: callers that keep the model attach one (Fit, AutoFit's
+// winner), so losing grid candidates never copy the input.
+func fitDiffed(xs, w []float64, order Order, warm []float64, sc *fitScratch) (*Model, error) {
 	if err := order.validate(); err != nil {
 		return nil, err
 	}
@@ -62,32 +91,36 @@ func Fit(xs []float64, order Order) (*Model, error) {
 	if len(xs) < minLen {
 		return nil, fmt.Errorf("timeseries: series of length %d too short for %v (need >= %d)", len(xs), order, minLen)
 	}
-	w, err := Difference(xs, order.D)
-	if err != nil {
-		return nil, err
+	if w == nil {
+		var err error
+		w, err = Difference(xs, order.D)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if stats.PopVariance(w) == 0 {
 		return nil, fmt.Errorf("timeseries: differenced series is constant; nothing to fit")
 	}
 
 	p, q := order.P, order.Q
-	mu := stats.Mean(w)
-
-	// Initial AR estimate via Yule-Walker (Durbin-Levinson on the ACF).
-	phi0 := make([]float64, p)
-	if p > 0 {
-		if pacfPhi, ywErr := yuleWalker(w, p); ywErr == nil {
-			copy(phi0, pacfPhi)
-		}
-	}
 
 	// Parameter vector layout: [mu, phi_1..phi_p, theta_1..theta_q].
 	x0 := make([]float64, 1+p+q)
-	x0[0] = mu
-	copy(x0[1:], phi0)
+	if len(warm) == len(x0) {
+		copy(x0, warm)
+	} else {
+		x0[0] = stats.Mean(w)
+		// Initial AR estimate via Yule-Walker (Durbin-Levinson on the ACF).
+		if p > 0 {
+			if pacfPhi, ywErr := yuleWalker(w, p); ywErr == nil {
+				copy(x0[1:1+p], pacfPhi)
+			}
+		}
+	}
 
+	resid := sc.residBuf(len(w))
 	css := func(params []float64) float64 {
-		return cssObjective(w, p, q, params)
+		return cssObjective(w, p, q, params, resid)
 	}
 
 	best, _, err := NelderMead(css, x0, NelderMeadConfig{MaxIter: 4000, Tol: 1e-12, Step: 0.2})
@@ -101,15 +134,13 @@ func Fit(xs []float64, order Order) (*Model, error) {
 		AR:     append([]float64(nil), best[1:1+p]...),
 		MA:     append([]float64(nil), best[1+p:]...),
 		N:      len(xs),
-		series: append([]float64(nil), xs...),
 		diffed: w,
 	}
-	resid := m.residuals(w)
 	sse := 0.0
-	for _, e := range resid {
+	for _, e := range m.residualsInto(w, resid) {
 		sse += e * e
 	}
-	n := float64(len(resid))
+	n := float64(len(w))
 	m.Sigma2 = sse / n
 	k := float64(1 + p + q + 1) // mu + AR + MA + sigma2
 	if m.Sigma2 <= 0 {
@@ -121,14 +152,15 @@ func Fit(xs []float64, order Order) (*Model, error) {
 }
 
 // cssObjective computes the conditional sum of squares for the parameter
-// vector [mu, phi..., theta...] on the differenced series w. Exploding
-// recursions (non-stationary/non-invertible parameters) return +Inf.
-func cssObjective(w []float64, p, q int, params []float64) float64 {
+// vector [mu, phi..., theta...] on the differenced series w, writing the
+// recursion state into resid (len(w) scratch owned by the caller) so the
+// evaluation itself allocates nothing. Exploding recursions
+// (non-stationary/non-invertible parameters) return +Inf.
+func cssObjective(w []float64, p, q int, params, resid []float64) float64 {
 	mu := params[0]
 	phi := params[1 : 1+p]
 	theta := params[1+p:]
 	var sse float64
-	resid := make([]float64, len(w))
 	for t := range w {
 		pred := mu
 		for i := 0; i < p; i++ {
@@ -158,8 +190,13 @@ func cssObjective(w []float64, p, q int, params []float64) float64 {
 
 // residuals runs the CSS recursion with the fitted parameters.
 func (m *Model) residuals(w []float64) []float64 {
+	return m.residualsInto(w, make([]float64, len(w)))
+}
+
+// residualsInto is residuals writing into caller-owned scratch.
+func (m *Model) residualsInto(w, resid []float64) []float64 {
 	p, q := m.Order.P, m.Order.Q
-	resid := make([]float64, len(w))
+	resid = resid[:len(w)]
 	for t := range w {
 		pred := m.Mu
 		for i := 0; i < p; i++ {
@@ -191,10 +228,13 @@ func (m *Model) Forecast(h int) ([]float64, error) {
 	}
 	p, q := m.Order.P, m.Order.Q
 	resid := m.residuals(m.diffed)
-	// Extended differenced series: history + forecasts.
-	w := append([]float64(nil), m.diffed...)
-	e := append([]float64(nil), resid...)
-	n := len(w)
+	// Extended differenced series: history + forecasts, preallocated to the
+	// final n+h size so the forecast loop never regrows either slice.
+	n := len(m.diffed)
+	w := make([]float64, n, n+h)
+	copy(w, m.diffed)
+	e := make([]float64, n, n+h)
+	copy(e, resid)
 	for t := n; t < n+h; t++ {
 		pred := m.Mu
 		for i := 0; i < p; i++ {
@@ -310,25 +350,56 @@ func yuleWalker(w []float64, p int) ([]float64, error) {
 // AutoFit tries every order in the grid p in [0,maxP], q in [0,maxQ] with
 // the given d, and returns the model with the lowest BIC. Orders that fail
 // to fit are skipped; an error is returned only if every order fails.
+//
+// The grid shares one differenced series and one residual scratch across
+// every candidate, defers the training-series copy to the single winner,
+// and warm-starts each fit from the parameters of its already-fitted
+// neighbor ((p, q-1), falling back to (p-1, q)) padded with a zero for the
+// new coefficient — neighboring ARMA orders have near-identical optima, so
+// the simplex starts close and converges in far fewer evaluations than a
+// cold Yule-Walker start.
 func AutoFit(xs []float64, d, maxP, maxQ int) (*Model, error) {
+	if maxP < 0 || maxQ < 0 {
+		return nil, fmt.Errorf("timeseries: negative auto-fit grid bounds (%d, %d)", maxP, maxQ)
+	}
 	var (
 		best    *Model
 		lastErr error
 	)
+	w, err := Difference(xs, d)
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: auto fit found no viable order: %w", err)
+	}
+	sc := &fitScratch{}
+	// prevRow[q] holds the fitted parameter vector of (p-1, q); left holds
+	// the current row's (p, q-1).
+	prevRow := make([][]float64, maxQ+1)
+	curRow := make([][]float64, maxQ+1)
 	for p := 0; p <= maxP; p++ {
+		var left []float64
 		for q := 0; q <= maxQ; q++ {
+			curRow[q] = nil
 			if p == 0 && q == 0 && d == 0 {
 				continue
 			}
-			m, err := Fit(xs, Order{P: p, D: d, Q: q})
+			warm := warmStart(left, prevRow[q], p, q)
+			m, err := fitDiffed(xs, w, Order{P: p, D: d, Q: q}, warm, sc)
 			if err != nil {
 				lastErr = err
+				left = nil
 				continue
 			}
+			params := make([]float64, 1+p+q)
+			params[0] = m.Mu
+			copy(params[1:1+p], m.AR)
+			copy(params[1+p:], m.MA)
+			curRow[q] = params
+			left = params
 			if best == nil || m.BIC < best.BIC {
 				best = m
 			}
 		}
+		prevRow, curRow = curRow, prevRow
 	}
 	if best == nil {
 		if lastErr == nil {
@@ -336,5 +407,25 @@ func AutoFit(xs []float64, d, maxP, maxQ int) (*Model, error) {
 		}
 		return nil, fmt.Errorf("timeseries: auto fit found no viable order: %w", lastErr)
 	}
+	best.series = append([]float64(nil), xs...)
 	return best, nil
+}
+
+// warmStart builds the initial parameter vector for order (p, q) from a
+// fitted neighbor: left is (p, q-1), up is (p-1, q). The returned vector
+// has layout [mu, phi_1..p, theta_1..q] with a zero in the slot the
+// neighbor lacks; nil means no neighbor fitted (cold start).
+func warmStart(left, up []float64, p, q int) []float64 {
+	if len(left) == 1+p+q-1 {
+		warm := make([]float64, 1+p+q)
+		copy(warm, left) // theta_q starts at zero
+		return warm
+	}
+	if len(up) == 1+p+q-1 {
+		warm := make([]float64, 1+p+q)
+		copy(warm[:p], up[:p]) // mu, phi_1..p-1; phi_p starts at zero
+		copy(warm[1+p:], up[p:])
+		return warm
+	}
+	return nil
 }

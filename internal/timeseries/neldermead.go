@@ -3,7 +3,6 @@ package timeseries
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Objective is a function to minimize. It may return +Inf to mark an
@@ -70,8 +69,24 @@ func NelderMead(f Objective, x0 []float64, cfg NelderMeadConfig) ([]float64, flo
 	expanded := make([]float64, n)
 	contracted := make([]float64, n)
 
+	// sortSimplex orders the n+1 vertices by objective value. Insertion
+	// sort: the simplex is nearly sorted between iterations (at most one
+	// vertex moved), and unlike sort.Slice it allocates nothing — this
+	// runs once per iteration on the fitter's hottest path.
+	sortSimplex := func() {
+		for i := 1; i < len(simplex); i++ {
+			v := simplex[i]
+			j := i - 1
+			for j >= 0 && simplex[j].f > v.f {
+				simplex[j+1] = simplex[j]
+				j--
+			}
+			simplex[j+1] = v
+		}
+	}
+
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		sortSimplex()
 		best, worst := simplex[0], simplex[n]
 		if spread := math.Abs(worst.f - best.f); spread < cfg.Tol && !math.IsInf(best.f, 1) {
 			// Equal objective values can still mean a wide simplex (e.g.
@@ -142,7 +157,7 @@ func NelderMead(f Objective, x0 []float64, cfg NelderMeadConfig) ([]float64, flo
 		}
 	}
 
-	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	sortSimplex()
 	out := make([]float64, n)
 	copy(out, simplex[0].x)
 	if math.IsInf(simplex[0].f, 1) {
