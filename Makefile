@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet race verify bench bench-smoke bench-allocs bench-record bench-stream report fmt fmt-check fuzz
+.PHONY: build test vet botvet botvet-json race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,33 @@ vet:
 	$(GO) vet ./...
 
 # botvet runs the project-specific analyzers (nodeterm, lockguard,
-# snapshotalias, floateq) over every package via go vet's -vettool hook.
+# snapshotalias, floateq, sharedslice, parmerge, hotalloc, rngstream) over
+# every package via go vet's -vettool hook. Exit code 0 means every
+# analyzer ran clean; 1 means diagnostics (or build failure); 2 means the
+# tool was misused.
 botvet:
 	$(GO) build -o bin/botvet ./cmd/botvet
 	$(GO) vet -vettool=$(abspath bin/botvet) ./...
 
+# botvet-json is the same gate with machine-readable output: go vet -json
+# emits one JSON object per package keyed by analyzer name, suitable for
+# editor integrations and CI annotation tooling.
+botvet-json:
+	$(GO) build -o bin/botvet ./cmd/botvet
+	$(GO) vet -json -vettool=$(abspath bin/botvet) ./...
+
 race:
 	$(GO) test -race ./...
+
+# verify-race is the dynamic complement of the static gate: the worker
+# parity, determinism, and concurrent-access tests — everything the
+# sharedslice/parmerge analyzers reason about statically — run under the
+# race detector with the full machine's parallelism. -count=2 shakes out
+# once-per-process caching effects (sync.Once indexes, memoized views).
+verify-race:
+	$(GO) test -race -count=2 \
+		-run 'TestMap|TestChunk|TestWorkers|Parallel|Concurrent|Deterministic|TestParity|TestStoreAccessors|TestStoreSummaryWorkers|TestBotDense|TestDispersionIndex|TestIngest|TestSnapshot' \
+		./internal/par/ ./internal/dataset/ ./internal/core/ ./internal/stream/ ./internal/synth/ ./internal/experiments/
 
 # verify is the full pre-merge gate: build, stock vet, project analyzers,
 # formatting, and the race-enabled test suite.
@@ -51,6 +71,16 @@ bench-allocs:
 		-benchmem -benchtime=10x ./internal/timeseries ./internal/core > bench_allocs.out
 	@cat bench_allocs.out
 	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json
+	@rm -f bench_allocs.out
+
+# bench-update re-measures the budgeted kernels and regenerates
+# bench_thresholds.json with headroom (see benchguard -update). Run after
+# a deliberate allocation-profile change, then review the diff.
+bench-update:
+	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$' \
+		-benchmem -benchtime=10x ./internal/timeseries ./internal/core > bench_allocs.out
+	@cat bench_allocs.out
+	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json -update
 	@rm -f bench_allocs.out
 
 # bench-record runs the trajectory harness and appends the next

@@ -8,10 +8,18 @@
 //
 //	go test -bench '...' -benchmem ./... > bench.out
 //	benchguard -in bench.out -thresholds bench_thresholds.json
+//
+// With -update, instead of enforcing, benchguard rewrites the threshold
+// file from the run: each budgeted benchmark gets its observed allocs/op
+// plus 25% headroom (minimum +4) and its observed bytes/op rounded up to
+// the next power of two at least 2x the observation. The benchmark set is
+// taken from the existing file, so a kernel cannot gain or lose its guard
+// by accident; a budgeted benchmark missing from the run is still an error.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		in         = fs.String("in", "", "benchmark output file (default stdin)")
 		thresholds = fs.String("thresholds", "bench_thresholds.json", "JSON file of per-benchmark budgets")
+		update     = fs.Bool("update", false, "rewrite the threshold file from this run with headroom instead of enforcing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +93,11 @@ func run(args []string, stdout io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+
+	if *update {
+		return updateThresholds(*thresholds, names, budgets, results, stdout)
+	}
+
 	var failures []string
 	for _, name := range names {
 		budget := budgets[name]
@@ -110,6 +124,61 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("allocation budget violations:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// updateThresholds rewrites the threshold file from the observed results,
+// keeping the existing benchmark set and applying headroom: allocs get
+// +25% (minimum +4), bytes round up to the next power of two at least
+// double the observation.
+func updateThresholds(path string, names []string, budgets map[string]Threshold,
+	results map[string]Result, stdout io.Writer) error {
+
+	next := make(map[string]Threshold, len(budgets))
+	for _, name := range names {
+		res, ok := results[name]
+		if !ok {
+			return fmt.Errorf("%s: expected benchmark missing from run; cannot update its budget", name)
+		}
+		t := Threshold{
+			MaxAllocsPerOp: allocHeadroom(res.AllocsPerOp),
+			MaxBytesPerOp:  byteHeadroom(res.BytesPerOp),
+		}
+		next[name] = t
+		fmt.Fprintf(stdout, "%-32s %8d allocs/op -> budget %d  %10d B/op -> budget %d\n",
+			name, res.AllocsPerOp, t.MaxAllocsPerOp, res.BytesPerOp, t.MaxBytesPerOp)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("{\n")
+	for i, name := range names {
+		t := next[name]
+		fmt.Fprintf(&buf, "  %q: { \"max_allocs_per_op\": %d, \"max_bytes_per_op\": %d }",
+			name, t.MaxAllocsPerOp, t.MaxBytesPerOp)
+		if i < len(names)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// allocHeadroom budgets an allocation count with 25% headroom, at least +4.
+func allocHeadroom(observed int64) int64 {
+	slack := observed / 4
+	if slack < 4 {
+		slack = 4
+	}
+	return observed + slack
+}
+
+// byteHeadroom rounds up to the next power of two that is at least double
+// the observation, matching the existing hand-set budgets' shape.
+func byteHeadroom(observed int64) int64 {
+	budget := int64(1024)
+	for budget < observed*2 {
+		budget *= 2
+	}
+	return budget
 }
 
 // parseBench extracts -benchmem results keyed by base benchmark name.

@@ -97,6 +97,57 @@ func TestRunFailsOverBudget(t *testing.T) {
 	}
 }
 
+func TestUpdateRewritesThresholdsWithHeadroom(t *testing.T) {
+	th := writeThresholds(t, map[string]Threshold{
+		"BenchmarkFit":              {MaxAllocsPerOp: 1, MaxBytesPerOp: 1},
+		"BenchmarkDispersionSeries": {MaxAllocsPerOp: 1, MaxBytesPerOp: 1},
+	})
+	out := writeBenchOutput(t, sampleOutput)
+	var buf bytes.Buffer
+	if err := run([]string{"-in", out, "-thresholds", th, "-update"}, &buf); err != nil {
+		t.Fatalf("update failed: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]Threshold
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("rewritten file is not valid JSON: %v\n%s", err, data)
+	}
+	want := map[string]Threshold{
+		// Fit: 20 allocs +25% = 25; 98896 B doubled -> next pow2 = 262144.
+		"BenchmarkFit": {MaxAllocsPerOp: 25, MaxBytesPerOp: 262144},
+		// DispersionSeries: 8 allocs + minimum slack 4 = 12; 9024*2 -> 32768.
+		"BenchmarkDispersionSeries": {MaxAllocsPerOp: 12, MaxBytesPerOp: 32768},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rewrote %d budgets, want %d: %+v", len(got), len(want), got)
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+	// The regenerated file must itself pass enforcement on the same run.
+	buf.Reset()
+	if err := run([]string{"-in", out, "-thresholds", th}, &buf); err != nil {
+		t.Fatalf("regenerated thresholds do not pass their own run: %v\n%s", err, buf.String())
+	}
+}
+
+func TestUpdateFailsOnMissingBenchmark(t *testing.T) {
+	th := writeThresholds(t, map[string]Threshold{
+		"BenchmarkRenamedAway": {MaxAllocsPerOp: 10, MaxBytesPerOp: 100},
+	})
+	out := writeBenchOutput(t, sampleOutput)
+	var buf bytes.Buffer
+	err := run([]string{"-in", out, "-thresholds", th, "-update"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "missing from run") {
+		t.Fatalf("update = %v, want missing-benchmark failure", err)
+	}
+}
+
 func TestRunFailsOnMissingBenchmark(t *testing.T) {
 	th := writeThresholds(t, map[string]Threshold{
 		"BenchmarkRenamedAway": {MaxAllocsPerOp: 10, MaxBytesPerOp: 100},

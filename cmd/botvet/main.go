@@ -1,29 +1,48 @@
 // Botvet is the project-specific static-analysis gate. It bundles the
-// botscope analyzers — nodeterm, lockguard, snapshotalias, floateq — into
-// a unitchecker binary that `go vet` drives over every package:
+// botscope analyzers — nodeterm, lockguard, snapshotalias, floateq,
+// sharedslice, parmerge, hotalloc, rngstream — into a unitchecker binary
+// that `go vet` drives over every package:
 //
 //	go build -o bin/botvet ./cmd/botvet
 //	go vet -vettool=$(pwd)/bin/botvet ./...
 //
-// `make botvet` (and `make verify`) wire this up. Each analyzer encodes an
-// invariant the paper reproduction depends on; see DESIGN.md for what they
-// enforce and why. Per-line exceptions use "//botvet:allow <analyzer>".
+// `make botvet` (and `make verify`) wire this up; `make botvet-json` runs
+// the same gate with `go vet -json` for machine-readable output, where
+// diagnostics arrive as a JSON object per package keyed by analyzer name.
+//
+// Exit codes follow the `go vet` convention the CI gate relies on:
+//
+//	0  every analyzer ran and reported nothing
+//	1  at least one diagnostic was reported (or a package failed to build)
+//	2  the tool itself was misused (bad flags, unreadable vet config)
+//
+// Each analyzer encodes an invariant the paper reproduction depends on;
+// see DESIGN.md for what they enforce and why. Per-line exceptions use
+// "//botvet:allow <analyzer>" or "//botvet:ignore <analyzer> <reason>".
 package main
 
 import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"botscope/internal/analysis/floateq"
+	"botscope/internal/analysis/hotalloc"
 	"botscope/internal/analysis/lockguard"
 	"botscope/internal/analysis/nodeterm"
+	"botscope/internal/analysis/parmerge"
+	"botscope/internal/analysis/rngstream"
+	"botscope/internal/analysis/sharedslice"
 	"botscope/internal/analysis/snapshotalias"
 )
 
 func main() {
 	unitchecker.Main(
 		floateq.Analyzer,
+		hotalloc.Analyzer,
 		lockguard.Analyzer,
 		nodeterm.Analyzer,
+		parmerge.Analyzer,
+		rngstream.Analyzer,
+		sharedslice.Analyzer,
 		snapshotalias.Analyzer,
 	)
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestBotvetCleanOnRepo builds the botvet binary and drives it over the
+// whole module with go vet, asserting zero diagnostics: the annotation
+// contracts (//botscope:shared, //botscope:parpool, //botscope:hotpath)
+// and the determinism scopes must hold on every package at all times.
+func TestBotvetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and re-typechecks the module; skipped in -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "botvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/botvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/botvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("botvet reported diagnostics on the repo:\n%s", out)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strings"
@@ -64,6 +65,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 
 	var diags []analysis.Diagnostic
 	results := map[*analysis.Analyzer]any{}
+	facts := newFactStore()
 	var exec func(an *analysis.Analyzer) error
 	exec = func(an *analysis.Analyzer) error {
 		if _, done := results[an]; done {
@@ -88,6 +90,12 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 					diags = append(diags, d)
 				}
 			},
+			ExportObjectFact:  facts.exportObjectFact,
+			ImportObjectFact:  facts.importObjectFact,
+			ExportPackageFact: func(fact analysis.Fact) { facts.exportPackageFact(pkg, fact) },
+			ImportPackageFact: facts.importPackageFact,
+			AllObjectFacts:    facts.allObjectFacts,
+			AllPackageFacts:   facts.allPackageFacts,
 		}
 		res, err := an.Run(pass)
 		if err != nil {
@@ -121,6 +129,79 @@ func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
 		files = append(files, f)
 	}
 	return files
+}
+
+// factStore is the harness's in-memory stand-in for the fact
+// serialization real drivers perform. Fixture packages import only the
+// standard library, so producer and consumer always share one package and
+// facts never cross a package boundary: exporting stores the fact value
+// keyed by (object, fact type) and importing copies it back by reflection.
+type factStore struct {
+	object  map[types.Object]map[reflect.Type]analysis.Fact
+	pkgFact map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object:  map[types.Object]map[reflect.Type]analysis.Fact{},
+		pkgFact: map[*types.Package]map[reflect.Type]analysis.Fact{},
+	}
+}
+
+func (fs *factStore) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	m := fs.object[obj]
+	if m == nil {
+		m = map[reflect.Type]analysis.Fact{}
+		fs.object[obj] = m
+	}
+	m[reflect.TypeOf(fact)] = fact
+}
+
+func (fs *factStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	stored, ok := fs.object[obj][reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (fs *factStore) exportPackageFact(pkg *types.Package, fact analysis.Fact) {
+	m := fs.pkgFact[pkg]
+	if m == nil {
+		m = map[reflect.Type]analysis.Fact{}
+		fs.pkgFact[pkg] = m
+	}
+	m[reflect.TypeOf(fact)] = fact
+}
+
+func (fs *factStore) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	stored, ok := fs.pkgFact[pkg][reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (fs *factStore) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, m := range fs.object {
+		for _, f := range m {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (fs *factStore) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, m := range fs.pkgFact {
+		for _, f := range m {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
 }
 
 func resultsFor(all map[*analysis.Analyzer]any, reqs []*analysis.Analyzer) map[*analysis.Analyzer]any {

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/hotalloc"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", hotalloc.Analyzer, "example.com/a")
+}

@@ -1,0 +1,115 @@
+package a
+
+import "fmt"
+
+// hotSum is a hot-path kernel fixture: every allocating construct below
+// must be reported.
+//
+//botscope:hotpath
+func hotSum(xs []float64) string {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return fmt.Sprintf("%f", total) // want `fmt.Sprintf allocates`
+}
+
+//botscope:hotpath
+func hotMapPerIteration(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		seen := map[int]bool{} // want `map literal allocated every loop iteration`
+		seen[x] = true
+		total += len(seen)
+	}
+	return total
+}
+
+//botscope:hotpath
+func hotMakeInLoop(xs []int) int {
+	total := 0
+	for range xs {
+		buf := make([]int, 8) // want `make allocates every loop iteration`
+		total += len(buf)
+	}
+	return total
+}
+
+//botscope:hotpath
+func hotUnboundedAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out inside a hot loop`
+	}
+	return out
+}
+
+func sink(v interface{}) {}
+
+//botscope:hotpath
+func hotBoxing(x int) {
+	sink(x) // want `scalar int boxed into interface parameter`
+}
+
+//botscope:hotpath
+func hotClosureCapture(xs []float64) float64 {
+	best := 0.0
+	cmp := func(i int) bool { return xs[i] < best } // want `closure in hot path captures`
+	if cmp(0) {
+		return best
+	}
+	return xs[0]
+}
+
+// coldSum has no directive: the same constructs stay silent.
+func coldSum(xs []float64) string {
+	var out []float64
+	for _, x := range xs {
+		m := map[int]bool{0: true}
+		_ = m
+		out = append(out, x)
+	}
+	return fmt.Sprintf("%d", len(out))
+}
+
+//botscope:hotpath
+func goodPreallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2) // preallocated with capacity: legal
+	}
+	return out
+}
+
+//botscope:hotpath
+func goodAppendToParam(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x) // caller owns the buffer: legal
+	}
+	return dst
+}
+
+//botscope:hotpath
+func goodSetupOutsideLoop(xs []int) int {
+	seen := make(map[int]bool, len(xs)) // one-time setup: legal
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+//botscope:hotpath
+func goodPureKernel(w []float64, mu float64) float64 {
+	var sse float64
+	for t := range w {
+		e := w[t] - mu
+		sse += e * e
+	}
+	return sse
+}
+
+//botscope:hotpath
+func allowedException(xs []int) string {
+	s := fmt.Sprint(len(xs)) //botvet:ignore hotalloc fixture exercises the ignore directive
+	return s
+}

@@ -1,0 +1,293 @@
+// Package parmerge defines a botvet analyzer that enforces the contracts
+// of the deterministic parallel kernels in internal/par. par.Map and
+// par.ChunkMap promise byte-identical output for any worker count, but
+// only if the closures handed to them behave: each invocation may touch
+// its own index-addressed slot and nothing else. The pool entry points
+// opt in with the comment directive
+//
+//	//botscope:parpool
+//
+// in their doc comment, exported as an object fact so call sites in other
+// packages are checked too. Inside every function literal passed to an
+// annotated pool function, the analyzer reports:
+//
+//   - writes to captured variables (assignments, ++/--, captured-pointer
+//     stores) whose destination is not an element indexed by one of the
+//     closure's own parameters — concurrent invocations would race, and
+//     even under a mutex the merge order would depend on scheduling;
+//   - go statements — goroutines launched inside a pool closure escape
+//     the pool's bounded concurrency and its deterministic merge;
+//   - slices built in map-iteration order and returned from the closure
+//     without passing through another call (where a sort would happen) —
+//     the shard's content would depend on map hashing.
+//
+// Intentional exceptions carry "//botvet:allow parmerge" or
+// "//botvet:ignore parmerge <reason>".
+package parmerge
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/vetutil"
+)
+
+// Directive is the doc-comment marker a pool entry point carries.
+const Directive = "botscope:parpool"
+
+// IsPool is the object fact exported for every function whose doc comment
+// carries the //botscope:parpool directive.
+type IsPool struct{}
+
+func (*IsPool) AFact()         {}
+func (*IsPool) String() string { return "parpool" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "parmerge",
+	Doc:       "enforce the determinism contract of closures passed to //botscope:parpool kernels",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*IsPool)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if !vetutil.HasDirective(decl.Doc, Directive) {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			pass.ExportObjectFact(fn, &IsPool{})
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || !pass.ImportObjectFact(fn, &IsPool{}) {
+			return
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				checkClosure(pass, fn.Name(), lit)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// checkClosure enforces the pool contract inside one closure literal.
+func checkClosure(pass *analysis.Pass, poolName string, lit *ast.FuncLit) {
+	report := func(pos ast.Node, format string, args ...any) {
+		if !vetutil.Suppressed(pass, pos.Pos(), "parmerge") {
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x != lit {
+				return false // nested closures are that closure's business
+			}
+		case *ast.GoStmt:
+			report(x, "go statement inside a closure passed to %s bypasses the bounded pool; let the kernel schedule the work", poolName)
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkWrite(pass, poolName, lit, lhs, x.Tok.String(), report)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, poolName, lit, x.X, x.Tok.String(), report)
+		}
+		return true
+	})
+
+	checkMapOrderedReturn(pass, poolName, lit, report)
+}
+
+// checkWrite flags stores whose destination is captured from outside the
+// closure and not addressed by one of the closure's own parameters.
+func checkWrite(pass *analysis.Pass, poolName string, lit *ast.FuncLit, lhs ast.Expr, tok string, report func(ast.Node, string, ...any)) {
+	root, indexed := writeRoot(pass.TypesInfo, lit, lhs)
+	if root == nil || indexed {
+		return
+	}
+	if vetutil.DeclaredWithin(root, lit.Pos(), lit.End()) {
+		return // the closure's own local or parameter
+	}
+	report(lhs, "closure passed to %s writes captured %s (%s) outside an index-addressed slot; shard results through the return value instead", poolName, root.Name(), tok)
+}
+
+// writeRoot peels a store destination down to its root object and reports
+// whether the destination is an element addressed by a closure parameter
+// (out[i] = ... with i a parameter — the one sanctioned captured write).
+func writeRoot(info *types.Info, lit *ast.FuncLit, e ast.Expr) (root types.Object, paramIndexed bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x), false
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if usesClosureParam(info, lit, x.Index) {
+				return nil, true
+			}
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// usesClosureParam reports whether the expression mentions any of the
+// closure's own parameters.
+func usesClosureParam(info *types.Info, lit *ast.FuncLit, e ast.Expr) bool {
+	params := map[types.Object]bool{}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && params[info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMapOrderedReturn flags slices appended to inside a map range and
+// returned from the closure without ever being handed to another call —
+// the shard's element order would follow map hashing, and the kernel's
+// ordered merge would faithfully preserve the nondeterminism.
+func checkMapOrderedReturn(pass *analysis.Pass, poolName string, lit *ast.FuncLit, report func(ast.Node, string, ...any)) {
+	type appendSite struct {
+		obj types.Object
+		rng *ast.RangeStmt
+	}
+	var appends []appendSite
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.X == nil {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if obj := appendTarget(pass.TypesInfo, as); obj != nil {
+				if _, isMap := obj.Type().Underlying().(*types.Map); !isMap {
+					appends = append(appends, appendSite{obj, rng})
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+
+	passed := map[types.Object]bool{}
+	returned := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append", "len", "cap":
+						return true // builtins never sort for you
+					}
+				}
+			}
+			for _, arg := range x.Args {
+				if obj := vetutil.SelectorBase(pass.TypesInfo, arg); obj != nil {
+					passed[obj] = true
+				}
+				if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+					if obj := vetutil.SelectorBase(pass.TypesInfo, u.X); obj != nil {
+						passed[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if obj := vetutil.SelectorBase(pass.TypesInfo, res); obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if lit.Type.Results != nil {
+		for _, f := range lit.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					returned[obj] = true
+				}
+			}
+		}
+	}
+	for _, site := range appends {
+		if returned[site.obj] && !passed[site.obj] {
+			report(site.rng, "closure passed to %s returns %s built in map-iteration order; the merged shards differ run to run — collect and sort first", poolName, site.obj.Name())
+		}
+	}
+}
+
+// appendTarget returns the object of v in `v = append(v, ...)` (or the
+// base object of x.f in `x.f = append(x.f, ...)`), or nil.
+func appendTarget(info *types.Info, as *ast.AssignStmt) types.Object {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return nil
+	}
+	return vetutil.SelectorBase(info, as.Lhs[0])
+}
+
+// calleeFunc resolves a call's target to a *types.Func, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

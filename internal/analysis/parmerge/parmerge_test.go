@@ -1,0 +1,12 @@
+package parmerge_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/parmerge"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", parmerge.Analyzer, "example.com/a")
+}

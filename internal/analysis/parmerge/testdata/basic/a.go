@@ -1,0 +1,122 @@
+package a
+
+import "sort"
+
+// Map mimics par.Map: a deterministic bounded-parallelism kernel whose
+// closures must be pure per index.
+//
+//botscope:parpool
+func Map(workers, n int, f func(i int) int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// ChunkMap mimics par.ChunkMap.
+//
+//botscope:parpool
+func ChunkMap(workers, n int, f func(lo, hi int) []string) [][]string {
+	return [][]string{f(0, n)}
+}
+
+// plain is an ordinary higher-order function without the directive.
+func plain(n int, f func(i int) int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+func badCapturedCounter(xs []int) int {
+	total := 0
+	Map(0, len(xs), func(i int) int {
+		total += xs[i] // want `writes captured total`
+		return 0
+	})
+	return total
+}
+
+func badCapturedSliceWrite(xs []int) {
+	seen := make([]int, len(xs))
+	Map(0, len(xs), func(i int) int {
+		seen[0] = 1 // want `writes captured seen`
+		return xs[i]
+	})
+}
+
+type acc struct{ n int }
+
+func badCapturedFieldWrite(xs []int, a *acc) {
+	Map(0, len(xs), func(i int) int {
+		a.n++ // want `writes captured a`
+		return xs[i]
+	})
+}
+
+func badGoStmt(xs []int) []int {
+	return Map(0, len(xs), func(i int) int {
+		go func() {}() // want `bypasses the bounded pool`
+		return xs[i]
+	})
+}
+
+func badMapOrderedShard(m map[string]int) [][]string {
+	return ChunkMap(0, 1, func(lo, hi int) []string {
+		var keys []string
+		for k := range m { // want `built in map-iteration order`
+			keys = append(keys, k)
+		}
+		return keys
+	})
+}
+
+func goodIndexAddressedWrite(xs []int) []int {
+	out := make([]int, len(xs))
+	Map(0, len(xs), func(i int) int {
+		out[i] = xs[i] * 2 // index-addressed by the closure's own parameter
+		return out[i]
+	})
+	return out
+}
+
+func goodLocalState(m map[string]int) [][]string {
+	return ChunkMap(0, 1, func(lo, hi int) []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // passed to a call: order normalized
+		return keys
+	})
+}
+
+func goodLocalAccumulator(xs []int) []int {
+	return Map(0, len(xs), func(i int) int {
+		sum := 0
+		for j := 0; j <= i; j++ {
+			sum += xs[j]
+		}
+		return sum
+	})
+}
+
+func goodPlainFunctionIsUnchecked(xs []int) int {
+	total := 0
+	plain(len(xs), func(i int) int {
+		total += xs[i] // no directive on plain; not a pool kernel
+		return 0
+	})
+	return total
+}
+
+func allowedException(xs []int) int {
+	hits := 0
+	Map(0, len(xs), func(i int) int {
+		hits++ //botvet:ignore parmerge fixture exercises the ignore directive
+		return xs[i]
+	})
+	return hits
+}

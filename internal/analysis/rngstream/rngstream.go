@@ -1,0 +1,150 @@
+// Package rngstream defines a botvet analyzer that generalizes nodeterm
+// for the synthetic-workload generator: under internal/synth and
+// internal/botnet the *only* legal randomness is the per-family seeded
+// *rand.Rand stream, drawn in a deterministic order. The parallel
+// generator's byte-identical-for-any-worker-count guarantee rests on each
+// family consuming exactly its own stream in exactly the program order of
+// its attacks, so within the scoped packages the analyzer reports:
+//
+//   - global math/rand (and math/rand/v2) top-level draws — rand.Intn,
+//     rand.Float64, rand.Perm, ... share one process-wide stream across
+//     families and workers (constructors like rand.New/NewSource stay
+//     legal, as do methods on a seeded generator);
+//   - wall-clock reads (time.Now / Since / Until) — the classic
+//     seed-from-clock and jitter-from-clock escapes;
+//   - draws from a *rand.Rand inside a map range — the draw order would
+//     follow map iteration, splicing the stream nondeterministically even
+//     though the generator itself is seeded.
+//
+// Intentional exceptions carry "//botvet:allow rngstream" or
+// "//botvet:ignore rngstream <reason>".
+package rngstream
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/vetutil"
+)
+
+const defaultScope = "botscope/internal/synth,botscope/internal/botnet"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "rngstream",
+	Doc:      "restrict the generator packages to per-family seeded *rand.Rand streams drawn in deterministic order",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var scopeFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&scopeFlag, "pkgs", defaultScope,
+		"comma-separated import paths (with subpackages) the analyzer applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !vetutil.InScope(pass.Pkg.Path(), vetutil.SplitList(scopeFlag)) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if vetutil.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+				if !vetutil.Suppressed(pass, call.Pos(), "rngstream") {
+					pass.Reportf(call.Pos(),
+						"call to time.%s in a seeded-stream package; derive time from the window and the stream, never the wall clock", fn.Name())
+				}
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Type().(*types.Signature).Recv() != nil || strings.HasPrefix(fn.Name(), "New") {
+				return // methods on a seeded generator, and constructors, are fine
+			}
+			if !vetutil.Suppressed(pass, call.Pos(), "rngstream") {
+				pass.Reportf(call.Pos(),
+					"global %s.%s draws from the process-wide stream; every draw here must come from the family's seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	})
+
+	// Draws inside map ranges: the stream is seeded, but consuming it in
+	// map-iteration order splices it nondeterministically.
+	ins.Preorder([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		rng := n.(*ast.RangeStmt)
+		if rng.X == nil || vetutil.IsTestFile(pass.Fset, rng.Pos()) {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			if inner, ok := m.(*ast.RangeStmt); ok && inner != rng {
+				return true // the inner range's own visit reports its draws
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isRandMethod(pass.TypesInfo, call) {
+				return true
+			}
+			if !vetutil.Suppressed(pass, call.Pos(), "rngstream") {
+				pass.Reportf(call.Pos(),
+					"*rand.Rand draw inside a map range consumes the seeded stream in map-iteration order; iterate a sorted key slice instead")
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// isRandMethod reports whether the call is a method on math/rand's (or
+// math/rand/v2's) Rand type — a draw from a seeded stream.
+func isRandMethod(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "math/rand" && fn.Pkg().Path() != "math/rand/v2" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Rand"
+}
+
+// calleeFunc resolves a call's target to a *types.Func, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

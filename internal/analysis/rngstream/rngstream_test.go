@@ -1,0 +1,16 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/rngstream"
+)
+
+func TestScoped(t *testing.T) {
+	atest.Run(t, "testdata/basic", rngstream.Analyzer, "botscope/internal/synth")
+}
+
+func TestUnscoped(t *testing.T) {
+	atest.Run(t, "testdata/unscoped", rngstream.Analyzer, "example.com/outside")
+}

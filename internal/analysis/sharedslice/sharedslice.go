@@ -1,0 +1,270 @@
+// Package sharedslice defines a botvet analyzer that protects the data
+// plane's Once-cached shared slices. Accessors such as Store.Families,
+// Store.Targets, BotIndex.Refs, and DispersionIndex.Series build their
+// result exactly once and then hand the same backing array to every
+// caller — concurrent readers included — so any mutation through a
+// returned slice corrupts every other reader, silently and racily.
+//
+// Producers opt in with the comment directive
+//
+//	//botscope:shared
+//
+// in their doc comment. The directive is exported as an object fact, so
+// consumers in *other* packages are checked too (the unitchecker driver
+// serializes facts along the import graph). At every use site the
+// analyzer tracks variables bound to a shared producer's result —
+// including re-slices of them — and reports:
+//
+//   - element writes: v[i] = x, v[i]++;
+//   - append with a shared slice as destination (append may write into
+//     the shared backing array whenever spare capacity exists);
+//   - handing a shared slice to an in-place mutator: sort.Slice,
+//     sort.Sort, sort.Ints/Strings/Float64s, slices.Sort*, slices.Reverse;
+//   - copy with a shared slice as destination.
+//
+// Rebinding the variable to anything else — most commonly the clone
+// idiom append([]T(nil), v...) — ends the tracking, so clone-then-sort
+// stays silent. Intentional exceptions carry "//botvet:allow sharedslice"
+// or "//botvet:ignore sharedslice <reason>".
+package sharedslice
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/vetutil"
+)
+
+// Directive is the doc-comment marker a shared-slice producer carries.
+const Directive = "botscope:shared"
+
+// IsShared is the object fact exported for every function or method whose
+// doc comment carries the //botscope:shared directive.
+type IsShared struct{}
+
+func (*IsShared) AFact()         {}
+func (*IsShared) String() string { return "shared" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "sharedslice",
+	Doc:       "flag mutation of slices returned by //botscope:shared Once-cached accessors",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*IsShared)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Phase 1: export a fact for every annotated producer in this package,
+	// so both this pass and downstream packages can resolve them.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if !vetutil.HasDirective(decl.Doc, Directive) {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			pass.ExportObjectFact(fn, &IsShared{})
+		}
+	})
+
+	// Phase 2: walk every function body looking for mutations.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		checkBody(pass, decl.Body)
+	})
+	return nil, nil
+}
+
+// checkBody tracks shared-slice bindings through one function body (in
+// source order, which ast.Inspect's preorder traversal approximates well
+// enough for straight-line binding/kill analysis) and reports mutations.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	shared := map[types.Object]bool{}
+
+	// isSharedExpr reports whether e evaluates to a shared slice: a direct
+	// call of an annotated producer, a variable currently bound to one, or
+	// a re-slice of either.
+	var isSharedExpr func(e ast.Expr) bool
+	isSharedExpr = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return isSharedCall(pass, x)
+		case *ast.Ident:
+			return shared[pass.TypesInfo.ObjectOf(x)]
+		case *ast.SliceExpr:
+			return isSharedExpr(x.X)
+		}
+		return false
+	}
+
+	report := func(pos ast.Node, format string, args ...any) {
+		if !vetutil.Suppressed(pass, pos.Pos(), "sharedslice") {
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+	}
+
+	// checked marks calls already examined eagerly at their enclosing
+	// assignment — before the assignment killed the binding they mutate —
+	// so the traversal's own visit does not re-report them.
+	checked := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// Mutation checks first, while the pre-assignment bindings are
+			// still live: element writes on the LHS, and calls anywhere on
+			// the RHS (v = append(v, ...) must see v as still shared).
+			for _, lhs := range x.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isSharedExpr(idx.X) {
+					report(lhs, "write into shared slice %s returned by a //botscope:shared accessor; clone it first", exprName(idx.X))
+				}
+			}
+			for _, rhs := range x.Rhs {
+				ast.Inspect(rhs, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && !checked[call] {
+						checked[call] = true
+						checkCall(pass, call, isSharedExpr, report)
+					}
+					return true
+				})
+			}
+			// Then update bindings: v := sharedCall() begins tracking,
+			// rebinding v to anything else ends it.
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					if isSharedExpr(x.Rhs[i]) {
+						shared[obj] = true
+					} else {
+						delete(shared, obj)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok && isSharedExpr(idx.X) {
+				report(x, "write into shared slice %s returned by a //botscope:shared accessor; clone it first", exprName(idx.X))
+			}
+		case *ast.CallExpr:
+			if !checked[x] {
+				checked[x] = true
+				checkCall(pass, x, isSharedExpr, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags calls that mutate a shared slice argument in place.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, isSharedExpr func(ast.Expr) bool, report func(ast.Node, string, ...any)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	// Builtins: append(shared, ...) and copy(shared, ...) write the shared
+	// backing array (append does whenever spare capacity exists).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "append":
+				if isSharedExpr(call.Args[0]) {
+					report(call, "append to shared slice %s may write the Once-cached backing array; clone with append([]T(nil), s...) first", exprName(call.Args[0]))
+				}
+			case "copy":
+				if isSharedExpr(call.Args[0]) {
+					report(call, "copy into shared slice %s mutates the Once-cached backing array", exprName(call.Args[0]))
+				}
+			case "clear":
+				if isSharedExpr(call.Args[0]) {
+					report(call, "clear of shared slice %s mutates the Once-cached backing array", exprName(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if !mutatesFirstArg(fn) {
+		return
+	}
+	if isSharedExpr(call.Args[0]) {
+		report(call, "%s.%s reorders shared slice %s in place; clone it before sorting", fn.Pkg().Name(), fn.Name(), exprName(call.Args[0]))
+	}
+}
+
+// mutatesFirstArg recognizes the standard-library in-place mutators whose
+// first argument is rearranged: the sort package's slice entry points and
+// the slices package's sorting/reversing helpers.
+func mutatesFirstArg(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s", "Reverse":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc", "Reverse", "Delete", "Insert", "Compact", "CompactFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// isSharedCall reports whether the call's callee carries the IsShared
+// fact (exported locally in phase 1, or imported from another package).
+func isSharedCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	return pass.ImportObjectFact(fn, &IsShared{})
+}
+
+// calleeFunc resolves a call's target to a *types.Func, or nil for
+// builtins and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// exprName renders a compact name for diagnostics: the identifier, the
+// method name of a call, or "slice" as a fallback.
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.CallExpr:
+		switch f := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			return f.Name + "()"
+		case *ast.SelectorExpr:
+			return f.Sel.Name + "()"
+		}
+	case *ast.SliceExpr:
+		return exprName(x.X)
+	}
+	return "slice"
+}

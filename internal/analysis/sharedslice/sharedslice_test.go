@@ -1,0 +1,12 @@
+package sharedslice_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/sharedslice"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", sharedslice.Analyzer, "example.com/a")
+}

@@ -1,0 +1,107 @@
+package a
+
+import (
+	"sort"
+)
+
+// Index mimics dataset.Store: Once-cached accessors returning shared
+// slices, annotated with the //botscope:shared directive.
+type Index struct {
+	families []string
+	counts   []int
+}
+
+// Families returns the sorted family list. The slice is computed once and
+// shared: callers must not modify it.
+//
+//botscope:shared
+func (ix *Index) Families() []string { return ix.families }
+
+// Counts returns the per-family counts, aligned with Families.
+//
+//botscope:shared
+func (ix *Index) Counts() []int { return ix.counts }
+
+// Shared is a package-level producer of a shared slice.
+//
+//botscope:shared
+func Shared() []int { return sharedData }
+
+var sharedData = []int{3, 1, 2}
+
+// Fresh returns a private copy; it is not annotated.
+func Fresh() []int { return append([]int(nil), sharedData...) }
+
+func badIndexWrite(ix *Index) {
+	fams := ix.Families()
+	fams[0] = "zeus" // want `write into shared slice fams`
+}
+
+func badIncDec() {
+	v := Shared()
+	v[0]++ // want `write into shared slice v`
+}
+
+func badAppend(ix *Index) []int {
+	c := ix.Counts()
+	c = append(c, 7) // want `append to shared slice c`
+	return c
+}
+
+func badSortDirect(ix *Index) {
+	sort.Slice(ix.Families(), func(i, j int) bool { return false }) // want `sort.Slice reorders shared slice Families\(\)`
+}
+
+func badSortVar() {
+	v := Shared()
+	sort.Ints(v) // want `sort.Ints reorders shared slice v`
+}
+
+func badCopyInto() {
+	v := Shared()
+	copy(v, []int{9, 9}) // want `copy into shared slice v`
+}
+
+func badSubsliceWrite() {
+	head := Shared()[:2]
+	head[1] = 5 // want `write into shared slice head`
+}
+
+func goodCloneThenSort() {
+	v := append([]int(nil), Shared()...)
+	sort.Ints(v)
+	v[0] = 9
+}
+
+func goodRebind() {
+	v := Shared()
+	v = Fresh()
+	v[0] = 1 // rebound to a private copy; no longer shared
+}
+
+func goodReadOnly(ix *Index) int {
+	total := 0
+	for _, c := range ix.Counts() {
+		total += c
+	}
+	if len(ix.Families()) > 0 {
+		total += len(ix.Families()[0])
+	}
+	return total
+}
+
+func goodFreshProducer() {
+	v := Fresh()
+	sort.Ints(v)
+	v[0] = 2
+}
+
+func goodAppendSource() []int {
+	// Shared slice as append *source* copies out of it; fine.
+	return append([]int(nil), Shared()...)
+}
+
+func allowedException() {
+	v := Shared()
+	v[0] = 1 //botvet:ignore sharedslice fixture exercises the ignore directive
+}

@@ -41,9 +41,11 @@ func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 }
 
 // Suppressed reports whether the source line holding pos, or the line
-// directly above it, carries a "//botvet:allow <name>" comment. It is the
-// single escape hatch every botvet analyzer honours, so intentional
-// exceptions are greppable.
+// directly above it, carries a "//botvet:allow <name>" or a
+// "//botvet:ignore <name> <reason>" comment. These are the escape
+// hatches every botvet analyzer honours, so intentional exceptions are
+// greppable. The allow form lists one or more analyzer names; the
+// ignore form names exactly one analyzer followed by a free-text reason.
 func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 	pp := pass.Fset.Position(pos)
 	for _, f := range pass.Files {
@@ -65,10 +67,40 @@ func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 						}
 					}
 				}
+				if rest, ok := strings.CutPrefix(text, "botvet:ignore"); ok {
+					fields := strings.Fields(rest)
+					if len(fields) > 0 && fields[0] == name {
+						return true
+					}
+				}
 			}
 		}
 	}
 	return false
+}
+
+// HasDirective reports whether the declaration's doc comment group carries
+// the given comment directive (e.g. "botscope:shared"): a comment of
+// exactly "//<directive>", with no space after the slashes, as gofmt
+// preserves for machine-readable directives.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// DeclaredWithin reports whether the object's declaration position lies
+// inside the source range [lo, hi] — the test the parmerge and hotalloc
+// analyzers use to distinguish a closure's own locals and parameters from
+// variables captured from the enclosing function (or package scope).
+func DeclaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
 }
 
 // IsMutex reports whether t (or the type it points to) is sync.Mutex or

@@ -41,6 +41,8 @@ func (b *Blacklist) Len() int { return len(b.entries) }
 
 // Entries returns the ranked entries (most active first). The slice is
 // shared and must not be modified.
+//
+//botscope:shared
 func (b *Blacklist) Entries() []BlacklistEntry { return b.entries }
 
 // Contains reports whether ip is blacklisted.
@@ -55,7 +57,10 @@ func (b *Blacklist) Truncate(maxSize int) *Blacklist {
 	if maxSize <= 0 || maxSize >= len(b.entries) {
 		return b
 	}
-	entries := b.entries[:maxSize]
+	// Clip capacity with a three-index slice: the truncated list shares the
+	// receiver's backing array, and a later append through the short view
+	// would otherwise clobber the receiver's tail entries in place.
+	entries := b.entries[:maxSize:maxSize]
 	members := make(map[netip.Addr]bool, len(entries))
 	for _, e := range entries {
 		members[e.IP] = true

@@ -220,3 +220,28 @@ func TestBlacklistTruncate(t *testing.T) {
 		t.Error("no-op Truncate should return the receiver")
 	}
 }
+
+// TestBlacklistTruncateClipsCapacity guards the aliasing fix: the truncated
+// list shares the receiver's backing array, so its entry slice must have
+// its capacity clipped — an append through the short view would otherwise
+// overwrite the receiver's tail entries in place.
+func TestBlacklistTruncateClipsCapacity(t *testing.T) {
+	s := synthWorkload(t)
+	full, err := BuildBlacklist(s, time.Time{}, time.Time{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 2 {
+		t.Skip("workload too small to truncate")
+	}
+	keep := full.Len() / 2
+	short := full.Truncate(keep)
+	if got := cap(short.Entries()); got != keep {
+		t.Fatalf("Truncate(%d) entries cap = %d, want %d (capacity must be clipped)", keep, got, keep)
+	}
+	tail := full.Entries()[keep]
+	_ = append(short.Entries(), BlacklistEntry{}) //botvet:ignore sharedslice test proves the clipped append reallocates
+	if full.Entries()[keep] != tail {
+		t.Fatalf("append through truncated view clobbered receiver entry %d", keep)
+	}
+}

@@ -68,6 +68,8 @@ func (ix *DispersionIndex) Store() *dataset.Store { return ix.store }
 
 // Series returns the family's chronological dispersion series, computing
 // it on first call. The returned slice is shared and must not be modified.
+//
+//botscope:shared
 func (ix *DispersionIndex) Series(f dataset.Family) []DispersionPoint {
 	ix.mu.Lock()
 	e, ok := ix.byFam[f]

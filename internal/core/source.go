@@ -32,6 +32,8 @@ type DispersionPoint struct {
 // and one scratch buffer serves every attack in the family — the loop
 // allocates nothing beyond the result slice once the scratch has grown to
 // the largest formation.
+//
+//botscope:hotpath
 func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
 	attacks := s.ByFamily(f)
 	ix := s.BotDense()
@@ -53,6 +55,8 @@ func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
 
 // appendBotPoints appends the attack's resolvable bot locations to dst,
 // in BotIPs order — the dense-index equivalent of the old botPoints.
+//
+//botscope:hotpath
 func appendBotPoints(dst []geo.CachedPoint, ix *dataset.BotIndex, a *dataset.Attack) []geo.CachedPoint {
 	for _, id := range ix.Refs(a) {
 		if ix.Rec(id) != nil {
@@ -188,6 +192,8 @@ func activeFamiliesFrom(families []dataset.Family, seriesOf func(dataset.Family)
 // distance in km between the bot formation's center and the target — the
 // quantity behind the paper's "average distance between attackers and
 // targets is about 3,500 km" observation.
+//
+//botscope:hotpath
 func AttackerTargetDistance(s *dataset.Store, f dataset.Family) []float64 {
 	attacks := s.ByFamily(f)
 	ix := s.BotDense()

@@ -87,7 +87,10 @@ func (ix *BotIndex) Rec(id int32) *Bot { return ix.recs[id] }
 func (ix *BotIndex) Point(id int32) geo.CachedPoint { return ix.pts[id] }
 
 // Refs returns the attack's source set as dense ids, aligned with
-// a.BotIPs. It returns nil for attacks not belonging to this store.
+// a.BotIPs. It returns nil for attacks not belonging to this store. The
+// span aliases the index's shared refs array and must not be modified.
+//
+//botscope:shared
 func (ix *BotIndex) Refs(a *Attack) []int32 {
 	off, ok := ix.offs[a.ID]
 	if !ok {

@@ -94,15 +94,26 @@ func (s *Store) NumAttacks() int { return len(s.attacks) }
 
 // Attacks returns all attacks ordered by start time. The slice is shared
 // and must not be modified; records themselves are shared too.
+//
+//botscope:shared
 func (s *Store) Attacks() []*Attack { return s.attacks }
 
-// ByFamily returns the family's attacks in start-time order.
+// ByFamily returns the family's attacks in start-time order. The slice
+// is the shared index bucket and must not be modified.
+//
+//botscope:shared
 func (s *Store) ByFamily(f Family) []*Attack { return s.byFamily[f] }
 
-// ByTarget returns all attacks against one target IP in start-time order.
+// ByTarget returns all attacks against one target IP in start-time
+// order. The slice is the shared index bucket and must not be modified.
+//
+//botscope:shared
 func (s *Store) ByTarget(ip netip.Addr) []*Attack { return s.byTarget[ip] }
 
-// ByBotnet returns all attacks launched by one botnet in start-time order.
+// ByBotnet returns all attacks launched by one botnet in start-time
+// order. The slice is the shared index bucket and must not be modified.
+//
+//botscope:shared
 func (s *Store) ByBotnet(id BotnetID) []*Attack { return s.byBotnet[id] }
 
 // Botnet resolves a botnet record.
@@ -126,6 +137,8 @@ func (s *Store) NumBotnets() int { return len(s.botnets) }
 // Families returns every family that launched at least one attack,
 // sorted. The slice is computed once and shared: callers must not modify
 // it.
+//
+//botscope:shared
 func (s *Store) Families() []Family {
 	s.famOnce.Do(s.buildFamilies)
 	return s.families
@@ -134,6 +147,8 @@ func (s *Store) Families() []Family {
 // FamilyCounts returns every family with its attack count, sorted by
 // family. The slice is computed once and shared: callers must not modify
 // it.
+//
+//botscope:shared
 func (s *Store) FamilyCounts() []FamilyCount {
 	s.famOnce.Do(s.buildFamilies)
 	return s.familyCounts
@@ -155,6 +170,8 @@ func (s *Store) buildFamilies() {
 
 // Targets returns every attacked IP, sorted. The slice is computed once
 // and shared: callers must not modify it.
+//
+//botscope:shared
 func (s *Store) Targets() []netip.Addr {
 	s.tgtOnce.Do(func() {
 		out := make([]netip.Addr, 0, len(s.byTarget))
@@ -171,7 +188,10 @@ func (s *Store) Targets() []netip.Addr {
 func (s *Store) NumTargets() int { return len(s.byTarget) }
 
 // InRange returns attacks with Start in [from, to), using the start-time
-// ordering for a binary-searched slice rather than a scan.
+// ordering for a binary-searched slice rather than a scan. The result
+// aliases the shared attack list and must not be modified.
+//
+//botscope:shared
 func (s *Store) InRange(from, to time.Time) []*Attack {
 	lo := sort.Search(len(s.attacks), func(i int) bool {
 		return !s.attacks[i].Start.Before(from)

@@ -17,6 +17,12 @@
 //
 // Every quantity scales down with Config.Scale so tests can run on small
 // workloads while cmd/botreport regenerates the full-size dataset.
+//
+// Determinism is statically gated: the whole package sits inside the
+// nodeterm and rngstream analyzer scopes (see DESIGN.md §7), so the only
+// legal randomness here is the per-family seeded *rand.Rand streams the
+// simulator threads through internal/botnet, whose sampling inner loops
+// carry the //botscope:hotpath allocation contract.
 package synth
 
 import (
