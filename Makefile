@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet botvet-json race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream report fmt fmt-check fuzz
+.PHONY: build test vet botvet botvet-json race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream load-smoke load-record report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ race:
 verify-race:
 	$(GO) test -race -count=2 \
 		-run 'TestMap|TestChunk|TestWorkers|Parallel|Concurrent|Deterministic|TestParity|TestStoreAccessors|TestStoreSummaryWorkers|TestBotDense|TestDispersionIndex|TestIngest|TestSnapshot' \
-		./internal/par/ ./internal/dataset/ ./internal/core/ ./internal/stream/ ./internal/synth/ ./internal/experiments/
+		./internal/par/ ./internal/dataset/ ./internal/core/ ./internal/stream/ ./internal/synth/ ./internal/experiments/ ./internal/cluster/
 
 # verify is the full pre-merge gate: build, stock vet, project analyzers,
 # formatting, and the race-enabled test suite.
@@ -65,10 +65,10 @@ bench-smoke:
 # bench-allocs runs the hot-kernel micro-benchmarks with -benchmem and
 # fails when any exceeds its budget in bench_thresholds.json (see
 # cmd/benchguard). This is the CI gate against allocation regressions in
-# the ARIMA fitter and the dispersion scan.
+# the ARIMA fitter, the dispersion scan, and the cross-shard merge.
 bench-allocs:
-	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$' \
-		-benchmem -benchtime=10x ./internal/timeseries ./internal/core > bench_allocs.out
+	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$|BenchmarkMergeSnapshots$$' \
+		-benchmem -benchtime=10x ./internal/timeseries ./internal/core ./internal/cluster > bench_allocs.out
 	@cat bench_allocs.out
 	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json
 	@rm -f bench_allocs.out
@@ -77,8 +77,8 @@ bench-allocs:
 # bench_thresholds.json with headroom (see benchguard -update). Run after
 # a deliberate allocation-profile change, then review the diff.
 bench-update:
-	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$' \
-		-benchmem -benchtime=10x ./internal/timeseries ./internal/core > bench_allocs.out
+	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$|BenchmarkMergeSnapshots$$' \
+		-benchmem -benchtime=10x ./internal/timeseries ./internal/core ./internal/cluster > bench_allocs.out
 	@cat bench_allocs.out
 	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json -update
 	@rm -f bench_allocs.out
@@ -96,10 +96,28 @@ bench-record:
 bench-stream:
 	$(GO) test -bench='BenchmarkStream(Ingest|Snapshot)' -benchmem -run=^$$
 
-# fuzz smoke-runs each dataset decoder fuzzer for FUZZTIME.
+# load-smoke drives a 2-shard cluster in-process with a small client
+# fleet and fails when p99 latency blows the budget. The report lands in
+# load_smoke.json (not the committed trajectory) so CI can archive it.
+LOAD_P99 ?= 250ms
+load-smoke:
+	$(GO) run ./cmd/botload -mode direct -shards 2 -clients 256 \
+		-duration 3s -scale 0.02 -churn 1s \
+		-assert-p99 $(LOAD_P99) -out load_smoke.json
+
+# load-record runs the full-size load test (10k clients over 4 shards)
+# and appends the next BENCH_<n>.json to the committed trajectory.
+load-record:
+	$(GO) run ./cmd/botload -mode direct -shards 4 -clients 10000 \
+		-duration 10s -scale 0.05 \
+		-commit $$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+# fuzz smoke-runs each decoder fuzzer (dataset codecs and the cluster
+# wire protocol) for FUZZTIME.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCSV -fuzztime=$(FUZZTIME) ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeJSONL -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeWire -fuzztime=$(FUZZTIME) ./internal/cluster/
 
 report:
 	$(GO) run ./cmd/botreport -scale 0.2

@@ -14,48 +14,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"regexp"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"time"
 
 	"botscope"
+	"botscope/internal/benchio"
 	"botscope/internal/core"
 	"botscope/internal/experiments"
 )
-
-// Phase is one timed pipeline stage.
-type Phase struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
-	Detail  string  `json:"detail,omitempty"`
-	// SpeedupVsBaseline is baseline-seconds / seconds for the phase with the
-	// same name in the -baseline file, when one was given and matches.
-	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
-}
-
-// Report is the schema of a BENCH_<n>.json file.
-type Report struct {
-	Schema      string  `json:"schema"`
-	GeneratedAt string  `json:"generated_at"`
-	Commit      string  `json:"commit,omitempty"`
-	Scale       float64 `json:"scale"`
-	Seed        int64   `json:"seed"`
-	Workers     int     `json:"workers"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	Note        string  `json:"note,omitempty"`
-	// Baseline names the BENCH file the speedup columns compare against.
-	Baseline    string  `json:"baseline,omitempty"`
-	Phases      []Phase `json:"phases"`
-	Experiments []Phase `json:"experiments,omitempty"`
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -109,8 +80,8 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 
-	rep := &Report{
-		Schema:      "botscope-bench/v1",
+	rep := &benchio.Report{
+		Schema:      benchio.Schema,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Commit:      *commit,
 		Scale:       *scale,
@@ -127,7 +98,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		rep.Phases = append(rep.Phases, Phase{Name: name, Seconds: sec, Detail: detail})
+		rep.Phases = append(rep.Phases, benchio.Phase{Name: name, Seconds: sec, Detail: detail})
 		fmt.Fprintf(stdout, "%-16s %10.3fs  %s\n", name, sec, detail)
 		return nil
 	}
@@ -189,7 +160,7 @@ func run(args []string, stdout io.Writer) error {
 				if err != nil {
 					return fmt.Errorf("%s: %w", e.ID, err)
 				}
-				rep.Experiments = append(rep.Experiments, Phase{Name: e.ID, Seconds: sec})
+				rep.Experiments = append(rep.Experiments, benchio.Phase{Name: e.ID, Seconds: sec})
 			}
 			return nil
 		}); err != nil {
@@ -198,7 +169,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *baseline != "" {
-		if err := applyBaseline(rep, *baseline); err != nil {
+		if err := benchio.ApplyBaseline(rep, *baseline); err != nil {
 			return err
 		}
 	}
@@ -206,71 +177,14 @@ func run(args []string, stdout io.Writer) error {
 	path := *out
 	if path == "" {
 		var err error
-		path, err = nextBenchPath(*dir)
+		path, err = benchio.NextBenchPath(*dir)
 		if err != nil {
 			return err
 		}
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := benchio.WriteReport(rep, path); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
-}
-
-// applyBaseline fills SpeedupVsBaseline on every phase (and experiment)
-// whose name also appears in the baseline report.
-func applyBaseline(rep *Report, path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-	var base Report
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
-	}
-	rep.Baseline = filepath.Base(path)
-	index := func(phases []Phase) map[string]float64 {
-		m := make(map[string]float64, len(phases))
-		for _, p := range phases {
-			m[p.Name] = p.Seconds
-		}
-		return m
-	}
-	annotate := func(phases []Phase, base map[string]float64) {
-		for i := range phases {
-			if sec, ok := base[phases[i].Name]; ok && phases[i].Seconds > 0 {
-				phases[i].SpeedupVsBaseline = sec / phases[i].Seconds
-			}
-		}
-	}
-	annotate(rep.Phases, index(base.Phases))
-	annotate(rep.Experiments, index(base.Experiments))
-	return nil
-}
-
-var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
-
-// nextBenchPath returns dir/BENCH_<n+1>.json where n is the highest
-// existing index in the trajectory (BENCH_1.json when none exist).
-func nextBenchPath(dir string) (string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return "", err
-	}
-	next := 1
-	for _, e := range entries {
-		m := benchName.FindStringSubmatch(e.Name())
-		if m == nil {
-			continue
-		}
-		if n, err := strconv.Atoi(m[1]); err == nil && n+1 > next {
-			next = n + 1
-		}
-	}
-	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
 }

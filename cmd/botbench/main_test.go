@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"botscope/internal/benchio"
 )
 
 // TestRunWritesReport smoke-tests the whole harness at a tiny scale: the
@@ -31,7 +33,7 @@ func TestRunWritesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("auto-numbered report not written: %v", err)
 	}
-	var rep Report
+	var rep benchio.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
@@ -63,7 +65,7 @@ func TestRunWritesReport(t *testing.T) {
 // TestNextBenchPath checks the auto-numbering scan.
 func TestNextBenchPath(t *testing.T) {
 	dir := t.TempDir()
-	p, err := nextBenchPath(dir)
+	p, err := benchio.NextBenchPath(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestNextBenchPath(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p, err = nextBenchPath(dir)
+	p, err = benchio.NextBenchPath(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

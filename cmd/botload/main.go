@@ -1,0 +1,429 @@
+// Command botload load-tests the live serve tier and records the latency
+// distribution it sustained into the BENCH_<n>.json trajectory.
+//
+// It spins up thousands of concurrent clients that hammer the /api/live/*
+// query endpoints for a fixed window, then reports p50/p99/p999 latency,
+// throughput, and error rate. Two modes:
+//
+//   - direct (default): boots the serve tier in-process — an N-shard
+//     cluster behind its HTTP handler (or the single-process server with
+//     -shards 0) — and drives the handler without kernel sockets, so
+//     10k+ concurrent clients measure the software stack, not the
+//     loopback.
+//   - http: drives a running botserve over real HTTP at -addr.
+//
+// Usage:
+//
+//	botload -shards 4 -clients 10000 -duration 10s
+//	botload -shards 2 -clients 200 -churn 2s        # leave/rejoin mid-load
+//	botload -mode http -addr http://localhost:8080 -clients 500
+//	botload -clients 10000 -assert-p99 50ms         # gate for CI
+//
+// The feed is a seeded synthetic workload ingested before the measurement
+// window, so every run queries the same analytics state.
+//
+// Latencies are closed-loop wall-clock: when the client count
+// oversubscribes the CPUs the tail quantiles include scheduler queueing
+// under saturation, which is the latency a real client would see — judge
+// the tier by p50/p99 and the error rate, and compare runs only on
+// equally provisioned hosts.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"botscope/internal/benchio"
+	"botscope/internal/cluster"
+	"botscope/internal/dataset"
+	"botscope/internal/serve"
+	"botscope/internal/synth"
+)
+
+// defaultEndpoints is the live query mix each client cycles through.
+const defaultEndpoints = "/api/live/summary,/api/live/daily,/api/live/intervals,/api/live/durations,/api/live/load,/api/live/collaborations"
+
+func main() {
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "botload:", err)
+		os.Exit(1)
+	}
+}
+
+// target abstracts how a client issues one request: in-process handler
+// dispatch or a real HTTP round trip.
+type target interface {
+	do(method, path string, body io.Reader) (status int, err error)
+}
+
+// handlerTarget drives an http.Handler in-process with a throwaway
+// response writer, so client concurrency is bounded by goroutines, not
+// sockets.
+type handlerTarget struct{ h http.Handler }
+
+// nullWriter discards the response body and keeps only the status.
+type nullWriter struct {
+	hdr    http.Header
+	status int
+}
+
+func (w *nullWriter) Header() http.Header { return w.hdr }
+func (w *nullWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+}
+func (w *nullWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (t handlerTarget) do(method, path string, body io.Reader) (int, error) {
+	req := httptest.NewRequest(method, path, body)
+	w := &nullWriter{hdr: make(http.Header)}
+	t.h.ServeHTTP(w, req)
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.status, nil
+}
+
+// httpTarget drives a live server over the network.
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t httpTarget) do(method, path string, body io.Reader) (int, error) {
+	req, err := http.NewRequest(method, t.base+path, body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// admin is the shard membership surface the churn loop needs; in direct
+// mode the frontend serves it without HTTP.
+type admin interface {
+	ShardLeave(id int) error
+	ShardJoin(id int) error
+}
+
+// httpAdmin churns shards through the management routes.
+type httpAdmin struct{ t target }
+
+func (a httpAdmin) ShardLeave(id int) error {
+	st, err := a.t.do(http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/leave", id), nil)
+	if err == nil && st != http.StatusOK {
+		err = fmt.Errorf("leave shard %d: status %d", id, st)
+	}
+	return err
+}
+
+func (a httpAdmin) ShardJoin(id int) error {
+	st, err := a.t.do(http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/join", id), nil)
+	if err == nil && st != http.StatusOK {
+		err = fmt.Errorf("join shard %d: status %d", id, st)
+	}
+	return err
+}
+
+// clientStats is one worker's tally; workers never share state mid-run.
+type clientStats struct {
+	latencies []time.Duration
+	requests  []int64 // per endpoint index
+	errors    []int64 // per endpoint index
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("botload", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "direct", "direct (in-process tier) or http (drive -addr)")
+		addr      = fs.String("addr", "http://localhost:8080", "base URL for -mode http")
+		shards    = fs.Int("shards", 4, "direct mode: cluster shard count (0 = single-process server)")
+		clients   = fs.Int("clients", 10000, "concurrent clients")
+		duration  = fs.Duration("duration", 10*time.Second, "measurement window")
+		endpoints = fs.String("endpoints", defaultEndpoints, "comma-separated query paths each client cycles")
+		seed      = fs.Int64("seed", 1, "feed generation seed")
+		scale     = fs.Float64("scale", 0.05, "feed scale; 1.0 = paper size")
+		churn     = fs.Duration("churn", 0, "leave+rejoin one shard at this period mid-load (0 = off)")
+		assertP99 = fs.Duration("assert-p99", 0, "fail when p99 latency exceeds this (0 = off)")
+		dir       = fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+		out       = fs.String("out", "", "explicit output path (overrides auto-numbering)")
+		note      = fs.String("note", "", "free-form note recorded in the report")
+		commit    = fs.String("commit", "", "VCS revision recorded in the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := strings.Split(*endpoints, ",")
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+
+	rep := &benchio.Report{
+		Schema:      benchio.Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Commit:      *commit,
+		Scale:       *scale,
+		Seed:        *seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        *note,
+	}
+
+	// Build the target tier.
+	var (
+		tgt     target
+		churner admin
+	)
+	switch *mode {
+	case "http":
+		tgt = httpTarget{base: strings.TrimRight(*addr, "/"), client: &http.Client{Timeout: 30 * time.Second}}
+		churner = httpAdmin{t: tgt}
+	case "direct":
+		h, front, err := buildTier(ctx, *shards)
+		if err != nil {
+			return err
+		}
+		tgt = handlerTarget{h: h}
+		if front != nil {
+			churner = front
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want direct or http)", *mode)
+	}
+
+	// Pre-ingest the seeded feed so queries hit populated analytics.
+	feedStart := time.Now()
+	records, err := ingestFeed(tgt, *seed, *scale)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, benchio.Phase{
+		Name: "load_feed", Seconds: time.Since(feedStart).Seconds(),
+		Detail: fmt.Sprintf("%d records (seed %d scale %g)", records, *seed, *scale),
+	})
+	fmt.Fprintf(stdout, "feed: %d records in %.2fs\n", records, time.Since(feedStart).Seconds())
+
+	// Optional churn loop: gracefully bounce the highest shard id.
+	loadCtx, stopLoad := context.WithTimeout(ctx, *duration)
+	defer stopLoad()
+	var churnWG sync.WaitGroup
+	if *churn > 0 {
+		if churner == nil || *shards < 2 {
+			return fmt.Errorf("-churn needs a cluster (direct mode with -shards >= 2, or http mode)")
+		}
+		victim := *shards - 1
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			ticker := time.NewTicker(*churn)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-loadCtx.Done():
+					return
+				case <-ticker.C:
+				}
+				if err := churner.ShardLeave(victim); err != nil {
+					fmt.Fprintf(os.Stderr, "botload: churn leave: %v\n", err)
+					continue
+				}
+				select {
+				case <-loadCtx.Done():
+					// Rejoin on the way out so the tier is whole afterwards.
+					_ = churner.ShardJoin(victim)
+					return
+				case <-time.After(*churn / 2):
+				}
+				if err := churner.ShardJoin(victim); err != nil {
+					fmt.Fprintf(os.Stderr, "botload: churn join: %v\n", err)
+				}
+			}
+		}()
+	}
+
+	// The measurement window: every client cycles the endpoint mix,
+	// starting at its own offset so the mix stays uniform.
+	fmt.Fprintf(stdout, "load: %d clients for %v (%s mode)\n", *clients, *duration, *mode)
+	stats := make([]clientStats, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.latencies = make([]time.Duration, 0, 1024)
+			st.requests = make([]int64, len(paths))
+			st.errors = make([]int64, len(paths))
+			for i := c; ; i++ {
+				if loadCtx.Err() != nil {
+					return
+				}
+				ep := i % len(paths)
+				t0 := time.Now()
+				status, err := tgt.do(http.MethodGet, paths[ep], nil)
+				lat := time.Since(t0)
+				st.latencies = append(st.latencies, lat)
+				st.requests[ep]++
+				if err != nil || status != http.StatusOK {
+					st.errors[ep]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	churnWG.Wait()
+	elapsed := time.Since(start)
+
+	load := aggregate(stats, paths, elapsed)
+	load.Mode = *mode
+	load.Shards = *shards
+	load.Clients = *clients
+	rep.Load = load
+	rep.Phases = append(rep.Phases, benchio.Phase{
+		Name: "load_run", Seconds: elapsed.Seconds(),
+		Detail: fmt.Sprintf("%d clients, %d requests", *clients, load.Requests),
+	})
+
+	fmt.Fprintf(stdout, "done: %d requests (%.0f/s), errors %.4f%%\n",
+		load.Requests, load.RequestsPerSec, load.ErrorRate*100)
+	fmt.Fprintf(stdout, "latency: p50 %.3fms  p99 %.3fms  p999 %.3fms  max %.3fms\n",
+		load.LatencyMsP50, load.LatencyMsP99, load.LatencyMsP999, load.LatencyMsMax)
+
+	path := *out
+	if path == "" {
+		if path, err = benchio.NextBenchPath(*dir); err != nil {
+			return err
+		}
+	}
+	if err := benchio.WriteReport(rep, path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+
+	if *assertP99 > 0 && load.LatencyMsP99 > float64(*assertP99)/float64(time.Millisecond) {
+		return fmt.Errorf("p99 latency %.3fms exceeds -assert-p99 %v", load.LatencyMsP99, *assertP99)
+	}
+	if load.Requests == 0 {
+		return fmt.Errorf("no requests completed within the window")
+	}
+	return nil
+}
+
+// buildTier boots the in-process serve tier: an n-shard cluster behind
+// its live HTTP face, or the single-process server when n == 0. The
+// returned frontend is nil for the single-process tier.
+func buildTier(ctx context.Context, n int) (http.Handler, *cluster.Frontend, error) {
+	if n == 0 {
+		store, err := synth.GenerateStore(synth.Config{Seed: 1, Scale: 0.01})
+		if err != nil {
+			return nil, nil, err
+		}
+		return serve.New(store, 0.01), nil, nil
+	}
+	local, err := cluster.StartLocal(ctx, n, 0, 0, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	go func() {
+		<-ctx.Done()
+		local.Close()
+	}()
+	h := serve.NewLiveServer(local.Frontend, serve.WithClusterAdmin(local.Frontend))
+	return h, local.Frontend, nil
+}
+
+// ingestFeed generates the seeded workload and streams it into the tier
+// as JSONL, returning the record count.
+func ingestFeed(tgt target, seed int64, scale float64) (int, error) {
+	store, err := synth.GenerateStore(synth.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return 0, err
+	}
+	attacks := store.Attacks()
+	var buf bytes.Buffer
+	if err := dataset.WriteJSONL(&buf, attacks); err != nil {
+		return 0, err
+	}
+	status, err := tgt.do(http.MethodPost, "/api/ingest", &buf)
+	if err != nil {
+		return 0, err
+	}
+	if status != http.StatusOK {
+		return 0, fmt.Errorf("feed ingest: status %d", status)
+	}
+	return len(attacks), nil
+}
+
+// aggregate folds per-client tallies into the trajectory's load report.
+func aggregate(stats []clientStats, paths []string, elapsed time.Duration) *benchio.LoadReport {
+	total := 0
+	for i := range stats {
+		total += len(stats[i].latencies)
+	}
+	all := make([]time.Duration, 0, total)
+	perEP := make([]benchio.EndpointStat, len(paths))
+	for i := range perEP {
+		perEP[i].Path = paths[i]
+	}
+	var errs int64
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		for ep := range paths {
+			if ep < len(stats[i].requests) {
+				perEP[ep].Requests += stats[i].requests[ep]
+				perEP[ep].Errors += stats[i].errors[ep]
+				errs += stats[i].errors[ep]
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	quantile := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	load := &benchio.LoadReport{
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        int64(len(all)),
+		Errors:          errs,
+		LatencyMsP50:    quantile(0.50),
+		LatencyMsP99:    quantile(0.99),
+		LatencyMsP999:   quantile(0.999),
+		Endpoints:       perEP,
+	}
+	if len(all) > 0 {
+		load.LatencyMsMax = float64(all[len(all)-1]) / float64(time.Millisecond)
+		load.ErrorRate = float64(errs) / float64(len(all))
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		load.RequestsPerSec = float64(len(all)) / sec
+	}
+	return load
+}

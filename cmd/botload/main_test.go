@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"botscope/internal/benchio"
+)
+
+// TestRunDirectCluster smoke-tests the whole harness in-process: a small
+// client fleet over a 2-shard tier with churn enabled, landing a report
+// with latency quantiles at the next trajectory index.
+func TestRunDirectCluster(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-mode", "direct", "-shards", "2",
+		"-clients", "32", "-duration", "400ms",
+		"-scale", "0.01", "-seed", "3",
+		"-churn", "120ms",
+		"-dir", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep benchio.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != benchio.Schema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Load == nil {
+		t.Fatal("report has no load section")
+	}
+	if rep.Load.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if rep.Load.Clients != 32 || rep.Load.Shards != 2 || rep.Load.Mode != "direct" {
+		t.Errorf("load deployment = %+v", rep.Load)
+	}
+	if rep.Load.LatencyMsP50 <= 0 || rep.Load.LatencyMsP99 < rep.Load.LatencyMsP50 ||
+		rep.Load.LatencyMsP999 < rep.Load.LatencyMsP99 {
+		t.Errorf("quantiles not monotone: p50=%v p99=%v p999=%v",
+			rep.Load.LatencyMsP50, rep.Load.LatencyMsP99, rep.Load.LatencyMsP999)
+	}
+	if len(rep.Load.Endpoints) == 0 {
+		t.Error("no per-endpoint stats")
+	}
+	// Churned queries may degrade (flagged by header) but must not error:
+	// every request either succeeds or is counted.
+	if rep.Load.ErrorRate > 0.01 {
+		t.Errorf("error rate %.4f under churn", rep.Load.ErrorRate)
+	}
+}
+
+// TestRunBadFlags covers the argument guards.
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-mode", "teleport"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(context.Background(), []string{"-mode", "direct", "-shards", "1", "-churn", "1s"}, &out); err == nil {
+		t.Error("churn without a multi-shard cluster accepted")
+	}
+}

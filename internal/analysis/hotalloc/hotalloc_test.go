@@ -10,3 +10,10 @@ import (
 func TestBasic(t *testing.T) {
 	atest.Run(t, "testdata/basic", hotalloc.Analyzer, "example.com/a")
 }
+
+// TestCluster covers the shapes the cluster wire codec and ring rely on:
+// caller-owned append encoding and pre-sized merge accumulators stay
+// silent, per-frame scratch allocation is reported.
+func TestCluster(t *testing.T) {
+	atest.Run(t, "testdata/cluster", hotalloc.Analyzer, "example.com/a")
+}

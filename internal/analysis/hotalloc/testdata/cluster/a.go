@@ -1,0 +1,92 @@
+// Package a seeds hotalloc with the shapes that show up in the cluster
+// wire codec and ring: append-based encoders that reuse a caller-owned
+// buffer (legal) next to per-frame scratch allocation (reported).
+package a
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+type entry struct {
+	seq uint64
+	id  int64
+}
+
+// appendFrame mimics wire.AppendFrame: every byte lands in the caller's
+// buffer, so the encode loop allocates nothing of its own.
+//
+//botscope:hotpath
+func appendFrame(dst []byte, entries []entry) []byte {
+	for _, e := range entries {
+		dst = binary.BigEndian.AppendUint64(dst, e.seq)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.id)) // caller owns dst: legal
+	}
+	return dst
+}
+
+// badScratchPerFrame allocates a fresh scratch buffer for every frame —
+// the regression the wire writer's reused buffer exists to avoid.
+//
+//botscope:hotpath
+func badScratchPerFrame(entries []entry) int {
+	total := 0
+	for _, e := range entries {
+		scratch := make([]byte, 16) // want `make allocates every loop iteration`
+		binary.BigEndian.PutUint64(scratch, e.seq)
+		total += len(scratch)
+	}
+	return total
+}
+
+// badFrameLabel formats a label per frame on the encode path.
+//
+//botscope:hotpath
+func badFrameLabel(entries []entry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, fmt.Sprintf("frame-%d", e.seq)) // want `fmt.Sprintf allocates` `append grows out inside a hot loop`
+	}
+	return out
+}
+
+// ringOwner mimics Ring.Owner: a pure binary search over precomputed
+// points, nothing allocated per lookup.
+//
+//botscope:hotpath
+func ringOwner(points []uint64, owners []int, h uint64) int {
+	lo, hi := 0, len(points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if points[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(points) {
+		lo = 0
+	}
+	if len(owners) == 0 {
+		return -1
+	}
+	return owners[lo]
+}
+
+// mergeCounts mimics the keyed-stat merge: the accumulator map is sized
+// once before the loop.
+//
+//botscope:hotpath
+func mergeCounts(parts [][]entry) map[int64]uint64 {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	acc := make(map[int64]uint64, n) // one-time setup: legal
+	for _, p := range parts {
+		for _, e := range p {
+			acc[e.id] += e.seq
+		}
+	}
+	return acc
+}

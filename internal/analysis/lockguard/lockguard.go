@@ -4,9 +4,11 @@
 //	// guarded by <mutexField>
 //
 // comment may only be read or written inside a function that either
-// acquires that mutex itself (calls <mutexField>.Lock or .RLock on the
-// same receiver/variable) or is explicitly documented to run with it held
-// via a
+// acquires that mutex itself (calls <mutexField>.Lock, .RLock, or
+// .TryLock on the same receiver/variable — TryLock counting on the
+// strength of the guarded early-return idiom, where a failed attempt
+// exits before any guarded access) or is explicitly documented to run
+// with it held via a
 //
 //	//lockguard:held <mutexField>
 //
@@ -235,8 +237,8 @@ func receiverMutex(pass *analysis.Pass, decl *ast.FuncDecl, name string) *types.
 	return nil
 }
 
-// acquiredMutexes returns the mutex field objects this body locks (Lock or
-// RLock) directly.
+// acquiredMutexes returns the mutex field objects this body locks (Lock,
+// RLock, or TryLock) directly.
 func acquiredMutexes(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
 	out := map[*types.Var]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -245,7 +247,7 @@ func acquiredMutexes(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bo
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" && sel.Sel.Name != "TryLock") {
 			return true
 		}
 		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {

@@ -46,6 +46,33 @@ func (c *counter) Allowed() int {
 	return c.n
 }
 
+// TryInc is the guarded early-return idiom: a failed TryLock exits
+// before any guarded access, so TryLock counts as an acquisition.
+func (c *counter) TryInc() bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	defer c.mu.Unlock()
+	c.n++
+	return true
+}
+
+// TryEach accesses guarded state from a closure while the enclosing
+// function holds the mutex via TryLock.
+func (c *counter) TryEach(f func(string)) bool {
+	if !c.mu.TryLock() {
+		return false
+	}
+	defer c.mu.Unlock()
+	walk := func() {
+		for _, name := range c.names {
+			f(name)
+		}
+	}
+	walk()
+	return true
+}
+
 type rw struct {
 	mu sync.RWMutex
 	m  map[string]int // guarded by mu

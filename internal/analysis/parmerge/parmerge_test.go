@@ -10,3 +10,10 @@ import (
 func TestBasic(t *testing.T) {
 	atest.Run(t, "testdata/basic", parmerge.Analyzer, "example.com/a")
 }
+
+// TestCluster covers the frontend's fan-out shapes: index-addressed
+// per-shard results stay silent; shared accumulators, map-ordered
+// payloads, and pool-escaping goroutines are reported.
+func TestCluster(t *testing.T) {
+	atest.Run(t, "testdata/cluster", parmerge.Analyzer, "example.com/a")
+}

@@ -1,0 +1,106 @@
+// Package a seeds parmerge with the frontend's fan-out shapes: a
+// bounded-pool kernel whose per-shard closures must write only through
+// their own index, with the degraded-shard bookkeeping folded afterwards
+// on the caller's goroutine.
+package a
+
+import "sort"
+
+type snap struct {
+	ingested uint64
+	counts   map[string]uint64
+}
+
+// fanOut mimics par.Map as the frontend uses it: one closure per shard.
+//
+//botscope:parpool
+func fanOut(n int, f func(i int) *snap) []*snap {
+	out := make([]*snap, n)
+	for i := 0; i < n; i++ {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// goodIndexedFanOut is the frontend's actual shape: each shard's result
+// lands at its own index; degraded detection happens after the barrier.
+func goodIndexedFanOut(shards []int, fetch func(id int) *snap) ([]*snap, []int) {
+	snaps := fanOut(len(shards), func(i int) *snap {
+		return fetch(shards[i]) // index-addressed: legal
+	})
+	var degraded []int
+	for i, s := range snaps {
+		if s == nil {
+			degraded = append(degraded, shards[i])
+		}
+	}
+	return snaps, degraded
+}
+
+// badSharedDegraded accumulates the degraded list inside the closures —
+// the data race the post-barrier fold avoids.
+func badSharedDegraded(shards []int, fetch func(id int) *snap) []int {
+	var degraded []int
+	fanOut(len(shards), func(i int) *snap {
+		s := fetch(shards[i])
+		if s == nil {
+			degraded = append(degraded, shards[i]) // want `writes captured degraded`
+		}
+		return s
+	})
+	return degraded
+}
+
+// badSharedTotal merges the per-shard totals inside the fan-out instead
+// of summing the returned snapshots.
+func badSharedTotal(shards []int, fetch func(id int) *snap) uint64 {
+	var total uint64
+	fanOut(len(shards), func(i int) *snap {
+		s := fetch(shards[i])
+		if s != nil {
+			total += s.ingested // want `writes captured total`
+		}
+		return s
+	})
+	return total
+}
+
+// chunkPayloads mimics par.ChunkMap building per-shard wire payloads.
+//
+//botscope:parpool
+func chunkPayloads(n int, f func(lo, hi int) []string) [][]string {
+	return [][]string{f(0, n)}
+}
+
+// badUnorderedKeys returns a shard payload built in map-iteration order —
+// the merged response would vary run to run.
+func badUnorderedKeys(counts map[string]uint64) [][]string {
+	return chunkPayloads(1, func(lo, hi int) []string {
+		var keys []string
+		for k := range counts { // want `built in map-iteration order`
+			keys = append(keys, k)
+		}
+		return keys
+	})
+}
+
+// goodSortedKeys normalizes the iteration order before it can leak into
+// the merged payload.
+func goodSortedKeys(counts map[string]uint64) [][]string {
+	return chunkPayloads(1, func(lo, hi int) []string {
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // order normalized before use
+		return keys
+	})
+}
+
+// badSideGoroutine escapes the bounded pool from inside a kernel.
+func badSideGoroutine(shards []int, fetch func(id int) *snap) []*snap {
+	return fanOut(len(shards), func(i int) *snap {
+		go func() {}() // want `bypasses the bounded pool`
+		return fetch(shards[i])
+	})
+}

@@ -1,0 +1,136 @@
+// Package benchio defines the BENCH_<n>.json performance-trajectory
+// schema shared by the offline pipeline harness (cmd/botbench) and the
+// serve-tier load harness (cmd/botload): timed phases, optional load-test
+// latency metrics, baseline speedups, and the trajectory auto-numbering
+// scan. Keeping the schema in one place lets both harnesses append to the
+// same committed sequence of reports.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// Schema identifies the report format.
+const Schema = "botscope-bench/v1"
+
+// Phase is one timed pipeline stage.
+type Phase struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Detail  string  `json:"detail,omitempty"`
+	// SpeedupVsBaseline is baseline-seconds / seconds for the phase with the
+	// same name in the -baseline file, when one was given and matches.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// EndpointStat is one endpoint's share of a load run.
+type EndpointStat struct {
+	Path     string `json:"path"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+}
+
+// LoadReport captures a serve-tier load run: how the tier was deployed,
+// how hard it was driven, and the latency distribution it sustained.
+type LoadReport struct {
+	Mode            string  `json:"mode"` // "direct" (in-process) or "http"
+	Shards          int     `json:"shards,omitempty"`
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	ErrorRate       float64 `json:"error_rate"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+
+	LatencyMsP50  float64 `json:"latency_ms_p50"`
+	LatencyMsP99  float64 `json:"latency_ms_p99"`
+	LatencyMsP999 float64 `json:"latency_ms_p999"`
+	LatencyMsMax  float64 `json:"latency_ms_max"`
+
+	Endpoints []EndpointStat `json:"endpoints,omitempty"`
+}
+
+// Report is the schema of a BENCH_<n>.json file.
+type Report struct {
+	Schema      string  `json:"schema"`
+	GeneratedAt string  `json:"generated_at"`
+	Commit      string  `json:"commit,omitempty"`
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Workers     int     `json:"workers,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Note        string  `json:"note,omitempty"`
+	// Baseline names the BENCH file the speedup columns compare against.
+	Baseline    string      `json:"baseline,omitempty"`
+	Phases      []Phase     `json:"phases"`
+	Experiments []Phase     `json:"experiments,omitempty"`
+	Load        *LoadReport `json:"load,omitempty"`
+}
+
+// ApplyBaseline fills SpeedupVsBaseline on every phase (and experiment)
+// whose name also appears in the baseline report at path.
+func ApplyBaseline(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	rep.Baseline = filepath.Base(path)
+	index := func(phases []Phase) map[string]float64 {
+		m := make(map[string]float64, len(phases))
+		for _, p := range phases {
+			m[p.Name] = p.Seconds
+		}
+		return m
+	}
+	annotate := func(phases []Phase, base map[string]float64) {
+		for i := range phases {
+			if sec, ok := base[phases[i].Name]; ok && phases[i].Seconds > 0 {
+				phases[i].SpeedupVsBaseline = sec / phases[i].Seconds
+			}
+		}
+	}
+	annotate(rep.Phases, index(base.Phases))
+	annotate(rep.Experiments, index(base.Experiments))
+	return nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextBenchPath returns dir/BENCH_<n+1>.json where n is the highest
+// existing index in the trajectory (BENCH_1.json when none exist).
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n+1 > next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// WriteReport marshals rep to path as indented JSON with a trailing
+// newline, the committed trajectory format.
+func WriteReport(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"botscope/internal/dataset"
+)
+
+// IngestEntry is one element of an msgIngest payload: either a full attack
+// record (the shard owns this attack's target partition) or a lightweight
+// (id, start, end) tick (the attack is homed elsewhere; the shard folds it
+// into its replicated scalar state only). Entries arrive in global stream
+// order; Seq is the record's 1-based position in the global stream.
+type IngestEntry struct {
+	Seq    uint64
+	Record *dataset.Attack // nil for a tick
+	ID     dataset.DDoSID
+	Start  time.Time
+	End    time.Time
+}
+
+// Tick reports whether the entry is a scalar tick rather than a record.
+func (e *IngestEntry) Tick() bool { return e.Record == nil }
+
+const (
+	entryTick   byte = 0
+	entryRecord byte = 1
+)
+
+// encodeIngest appends the msgIngest payload for entries to w.
+func encodeIngest(w *wireWriter, entries []IngestEntry) {
+	w.uvarint(uint64(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		if e.Record == nil {
+			w.buf = append(w.buf, entryTick)
+			w.uvarint(e.Seq)
+			w.uvarint(uint64(e.ID))
+			w.varint(e.Start.UnixNano())
+			w.varint(e.End.UnixNano())
+			continue
+		}
+		w.buf = append(w.buf, entryRecord)
+		w.uvarint(e.Seq)
+		encodeAttack(w, e.Record)
+	}
+}
+
+// decodeIngest parses an msgIngest payload.
+func decodeIngest(payload []byte) ([]IngestEntry, error) {
+	r := &wireReader{buf: payload}
+	// A tick costs at least 5 bytes (kind + 4 varints).
+	n := r.count(5)
+	entries := make([]IngestEntry, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		if len(r.buf) < 1 {
+			r.fail()
+			break
+		}
+		kind := r.buf[0]
+		r.buf = r.buf[1:]
+		switch kind {
+		case entryTick:
+			seq := r.uvarint()
+			id := dataset.DDoSID(r.uvarint())
+			start := time.Unix(0, r.varint()).UTC()
+			end := time.Unix(0, r.varint()).UTC()
+			entries = append(entries, IngestEntry{Seq: seq, ID: id, Start: start, End: end})
+		case entryRecord:
+			seq := r.uvarint()
+			a := decodeAttack(r)
+			if r.err != nil {
+				break
+			}
+			entries = append(entries, IngestEntry{
+				Seq: seq, Record: a, ID: a.ID, Start: a.Start, End: a.End,
+			})
+		default:
+			return nil, fmt.Errorf("cluster: unknown ingest entry kind %d", kind)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return entries, nil
+}
+
+// encodeAttack appends one full dataset.Attack. Times cross as UTC
+// unix-nanoseconds; every string and address round-trips verbatim so the
+// shard's analyzer sees exactly the record the frontend validated.
+func encodeAttack(w *wireWriter, a *dataset.Attack) {
+	w.uvarint(uint64(a.ID))
+	w.uvarint(uint64(a.BotnetID))
+	w.str(string(a.Family))
+	w.varint(int64(a.Category))
+	w.addr(a.TargetIP)
+	w.varint(a.Start.UnixNano())
+	w.varint(a.End.UnixNano())
+	w.uvarint(uint64(len(a.BotIPs)))
+	for _, ip := range a.BotIPs {
+		w.addr(ip)
+	}
+	w.varint(int64(a.TargetASN))
+	w.str(a.TargetCountry)
+	w.str(a.TargetCity)
+	w.str(a.TargetOrg)
+	w.f64(a.TargetLat)
+	w.f64(a.TargetLon)
+}
+
+// decodeAttack parses one full record; on malformed input it sets r.err
+// and returns an undefined record.
+func decodeAttack(r *wireReader) *dataset.Attack {
+	a := &dataset.Attack{
+		ID:       dataset.DDoSID(r.uvarint()),
+		BotnetID: dataset.BotnetID(r.uvarint()),
+		Family:   dataset.Family(r.str()),
+		Category: dataset.Category(r.varint()),
+		TargetIP: r.addr(),
+		Start:    time.Unix(0, r.varint()).UTC(),
+		End:      time.Unix(0, r.varint()).UTC(),
+	}
+	n := r.count(5) // every bot IP costs at least 5 bytes
+	if n > 0 && r.err == nil {
+		a.BotIPs = make([]netip.Addr, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		a.BotIPs = append(a.BotIPs, r.addr())
+	}
+	a.TargetASN = int(r.varint())
+	a.TargetCountry = r.str()
+	a.TargetCity = r.str()
+	a.TargetOrg = r.str()
+	a.TargetLat = r.f64()
+	a.TargetLon = r.f64()
+	return a
+}
+
+// helloAck is the shard's session greeting: its identity and how many
+// ingest entries it has applied (the frontend uses the latter to spot a
+// lagging or freshly reset shard).
+type helloAck struct {
+	ShardID int
+	Applied uint64
+}
+
+func encodeHelloAck(w *wireWriter, h helloAck) {
+	w.varint(int64(h.ShardID))
+	w.uvarint(h.Applied)
+}
+
+func decodeHelloAck(payload []byte) (helloAck, error) {
+	r := &wireReader{buf: payload}
+	h := helloAck{ShardID: int(r.varint()), Applied: r.uvarint()}
+	return h, r.err
+}
+
+// ingestAck reports how many entries the shard has applied in total after
+// this batch.
+type ingestAck struct {
+	Applied uint64
+}
+
+func encodeIngestAck(w *wireWriter, a ingestAck) {
+	w.uvarint(a.Applied)
+}
+
+func decodeIngestAck(payload []byte) (ingestAck, error) {
+	r := &wireReader{buf: payload}
+	a := ingestAck{Applied: r.uvarint()}
+	return a, r.err
+}

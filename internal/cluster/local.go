@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Local is an n-shard cluster running inside one process: every shard
+// listens on its own loopback TCP port and the frontend talks to them
+// over the real wire protocol, so `botserve -shards N` (and every test)
+// exercises exactly the code path a multi-node deployment would.
+type Local struct {
+	Frontend *Frontend
+	Shards   []*Shard
+	Addrs    map[int]string
+
+	cancel context.CancelFunc
+}
+
+// StartLocal boots n shard workers on loopback listeners and a frontend
+// connected to all of them. queueDepth bounds each shard's ingest queue
+// (<= 0 means DefaultQueueDepth); the timeouts configure the frontend
+// (<= 0 picks defaults). Close (or cancelling ctx) stops everything.
+func StartLocal(ctx context.Context, n, queueDepth int, queryTimeout, ingestTimeout time.Duration) (*Local, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", n)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	l := &Local{Addrs: make(map[int]string), cancel: cancel}
+	for id := 0; id < n; id++ {
+		sh := NewShard(id, queueDepth)
+		addr, _, err := ListenLocal(ctx, sh)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("cluster: starting shard %d: %w", id, err)
+		}
+		l.Shards = append(l.Shards, sh)
+		l.Addrs[id] = addr
+	}
+	l.Frontend = NewFrontend(queryTimeout, ingestTimeout)
+	if err := l.Frontend.Connect(ctx, l.Addrs); err != nil {
+		cancel()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close shuts the frontend and every shard down.
+func (l *Local) Close() {
+	l.Frontend.Close()
+	l.cancel()
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// maxLimiterKeys bounds the per-client bucket map. When the map fills
+// (an address churn attack, exactly the traffic a DDoS analytics tier
+// should expect), all buckets reset — a brief amnesty is cheaper than
+// unbounded memory.
+const maxLimiterKeys = 65536
+
+// RateLimiter is a per-key token bucket: each client key earns rate
+// tokens per second up to burst, and each request spends one. It is safe
+// for concurrent use.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket // guarded by mu
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter granting rate requests per second with
+// the given burst (burst < 1 is raised to 1 so a conforming client is
+// never starved). A nil or zero limiter is not usable; callers wanting
+// "unlimited" skip the limiter entirely.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// Allow spends one token for key. It returns whether the request may
+// proceed and, when refused, how long until a token accrues (the
+// Retry-After hint).
+func (l *RateLimiter) Allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxLimiterKeys {
+			l.buckets = make(map[string]*tokenBucket)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}

@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"botscope/internal/core"
+	"botscope/internal/dataset"
+	"botscope/internal/stats"
+	"botscope/internal/stream"
+)
+
+// ShardSnapshot is one shard's contribution to a merged live view: the
+// shard's identity, how many ingest entries it has applied, and its
+// stream.Snapshot. The snapshot's scalar half (Ingested, time bounds,
+// Intervals, Durations, Load) covers the *global* stream — every shard
+// replicates it from the tick feed — while the keyed half (Protocols,
+// FamilyProtocol, Daily, Collaborations) covers only the shard's target
+// partition.
+type ShardSnapshot struct {
+	ShardID int
+	Applied uint64
+	Snap    stream.Snapshot
+}
+
+// encodeSnapshot appends s's wire encoding. Every float crosses as its
+// IEEE-754 bits and every time as UTC unix-nanoseconds, so the frontend
+// reconstructs values bit-exactly.
+func encodeSnapshot(w *wireWriter, s *ShardSnapshot) {
+	w.varint(int64(s.ShardID))
+	w.uvarint(s.Applied)
+	sn := &s.Snap
+
+	w.varint(int64(sn.Ingested))
+	w.varint(sn.FirstStart.UnixNano())
+	w.varint(sn.LastStart.UnixNano())
+	w.varint(int64(sn.ActiveAttacks))
+
+	w.uvarint(uint64(len(sn.Protocols)))
+	for _, p := range sn.Protocols {
+		w.varint(int64(p.Category))
+		w.varint(int64(p.Count))
+	}
+
+	w.uvarint(uint64(len(sn.FamilyProtocol)))
+	for _, fp := range sn.FamilyProtocol {
+		w.varint(int64(fp.Category))
+		w.str(string(fp.Family))
+		w.varint(int64(fp.Count))
+	}
+
+	encodeDaily(w, &sn.Daily)
+	encodeSummary(w, &sn.Intervals.Summary)
+	w.f64(sn.Intervals.SimultaneousFrac)
+	w.f64(sn.Intervals.ExactZeroFrac)
+	encodeSummary(w, &sn.Durations.Summary)
+	w.f64(sn.Durations.FracUnder4h)
+	w.f64(sn.Durations.FracUnder60s)
+	w.varint(int64(sn.Load.Peak))
+	w.varint(sn.Load.PeakTime.UnixNano())
+	w.f64(sn.Load.TimeWeightedMean)
+	encodeCollab(w, &sn.Collaborations)
+}
+
+func encodeDaily(w *wireWriter, d *core.DailyStats) {
+	w.f64(d.Average)
+	w.varint(int64(d.Max))
+	w.varint(d.MaxDay.UnixNano())
+	w.str(string(d.MaxDominantFamily))
+	w.uvarint(uint64(len(d.Days)))
+	for _, dc := range d.Days {
+		w.varint(dc.Day.UnixNano())
+		w.varint(int64(dc.Count))
+		encodeFamilyCounts(w, dc.ByFamily)
+	}
+}
+
+func encodeSummary(w *wireWriter, s *stats.Summary) {
+	w.varint(int64(s.N))
+	w.f64(s.Mean)
+	w.f64(s.Median)
+	w.f64(s.StdDev)
+	w.f64(s.Min)
+	w.f64(s.Max)
+	w.f64(s.P80)
+	w.f64(s.P95)
+}
+
+func encodeCollab(w *wireWriter, c *stream.CollabSummary) {
+	w.varint(int64(c.TotalIntra))
+	w.varint(int64(c.TotalInter))
+	w.f64(c.MeanBotnets)
+	encodeFamilyCounts(w, c.Intra)
+	encodeFamilyCounts(w, c.Inter)
+
+	pairs := make([]string, 0, len(c.PairCounts))
+	for p := range c.PairCounts {
+		pairs = append(pairs, p)
+	}
+	sort.Strings(pairs)
+	w.uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		w.str(p)
+		w.varint(int64(c.PairCounts[p]))
+	}
+
+	w.uvarint(uint64(len(c.Recent)))
+	for _, cand := range c.Recent {
+		w.str(cand.Target)
+		w.varint(cand.Start.UnixNano())
+		w.uvarint(uint64(len(cand.Families)))
+		for _, f := range cand.Families {
+			w.str(string(f))
+		}
+		w.varint(int64(cand.Botnets))
+		w.varint(int64(cand.Attacks))
+		w.uvarint(cand.Seq)
+		w.bool(cand.Open)
+	}
+	w.varint(int64(c.OpenWindows))
+	w.varint(int64(c.Qualified))
+	w.varint(int64(c.BotnetTotal))
+}
+
+// encodeFamilyCounts writes a family→count map in sorted-family order so
+// the encoding is deterministic regardless of map iteration.
+func encodeFamilyCounts(w *wireWriter, m map[dataset.Family]int) {
+	fams := make([]dataset.Family, 0, len(m))
+	for f := range m {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	w.uvarint(uint64(len(fams)))
+	for _, f := range fams {
+		w.str(string(f))
+		w.varint(int64(m[f]))
+	}
+}
+
+// decodeSnapshot parses a msgSnapResp payload.
+func decodeSnapshot(payload []byte) (ShardSnapshot, error) {
+	r := &wireReader{buf: payload}
+	var s ShardSnapshot
+	s.ShardID = int(r.varint())
+	s.Applied = r.uvarint()
+	sn := &s.Snap
+
+	sn.Ingested = int(r.varint())
+	sn.FirstStart = wireTime(r.varint())
+	sn.LastStart = wireTime(r.varint())
+	sn.ActiveAttacks = int(r.varint())
+
+	n := r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		sn.Protocols = append(sn.Protocols, core.ProtocolCount{
+			Category: dataset.Category(r.varint()),
+			Count:    int(r.varint()),
+		})
+	}
+
+	n = r.count(3)
+	for i := 0; i < n && r.err == nil; i++ {
+		sn.FamilyProtocol = append(sn.FamilyProtocol, core.FamilyProtocolRow{
+			Category: dataset.Category(r.varint()),
+			Family:   dataset.Family(r.str()),
+			Count:    int(r.varint()),
+		})
+	}
+
+	decodeDaily(r, &sn.Daily)
+	decodeSummary(r, &sn.Intervals.Summary)
+	sn.Intervals.SimultaneousFrac = r.f64()
+	sn.Intervals.ExactZeroFrac = r.f64()
+	decodeSummary(r, &sn.Durations.Summary)
+	sn.Durations.FracUnder4h = r.f64()
+	sn.Durations.FracUnder60s = r.f64()
+	sn.Load.Peak = int(r.varint())
+	sn.Load.PeakTime = wireTime(r.varint())
+	sn.Load.TimeWeightedMean = r.f64()
+	decodeCollab(r, &sn.Collaborations)
+	return s, r.err
+}
+
+// wireTime reconstructs a wire timestamp; the zero time round-trips as
+// itself so "never set" survives the trip.
+func wireTime(nanos int64) time.Time {
+	var zero time.Time
+	if nanos == zero.UnixNano() {
+		return zero
+	}
+	return time.Unix(0, nanos).UTC()
+}
+
+func decodeDaily(r *wireReader, d *core.DailyStats) {
+	d.Average = r.f64()
+	d.Max = int(r.varint())
+	d.MaxDay = wireTime(r.varint())
+	d.MaxDominantFamily = dataset.Family(r.str())
+	n := r.count(3)
+	for i := 0; i < n && r.err == nil; i++ {
+		dc := core.DailyCount{
+			Day:      wireTime(r.varint()),
+			Count:    int(r.varint()),
+			ByFamily: decodeFamilyCounts(r),
+		}
+		d.Days = append(d.Days, dc)
+	}
+}
+
+func decodeSummary(r *wireReader, s *stats.Summary) {
+	s.N = int(r.varint())
+	s.Mean = r.f64()
+	s.Median = r.f64()
+	s.StdDev = r.f64()
+	s.Min = r.f64()
+	s.Max = r.f64()
+	s.P80 = r.f64()
+	s.P95 = r.f64()
+}
+
+func decodeCollab(r *wireReader, c *stream.CollabSummary) {
+	c.TotalIntra = int(r.varint())
+	c.TotalInter = int(r.varint())
+	c.MeanBotnets = r.f64()
+	c.Intra = decodeFamilyCounts(r)
+	c.Inter = decodeFamilyCounts(r)
+
+	n := r.count(2)
+	c.PairCounts = make(map[string]int, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		p := r.str()
+		c.PairCounts[p] = int(r.varint())
+	}
+
+	n = r.count(6)
+	for i := 0; i < n && r.err == nil; i++ {
+		cand := stream.CollabCandidate{
+			Target: r.str(),
+			Start:  wireTime(r.varint()),
+		}
+		fn := r.count(1)
+		for j := 0; j < fn && r.err == nil; j++ {
+			cand.Families = append(cand.Families, dataset.Family(r.str()))
+		}
+		cand.Botnets = int(r.varint())
+		cand.Attacks = int(r.varint())
+		cand.Seq = r.uvarint()
+		cand.Open = r.bool()
+		c.Recent = append(c.Recent, cand)
+	}
+	c.OpenWindows = int(r.varint())
+	c.Qualified = int(r.varint())
+	c.BotnetTotal = int(r.varint())
+}
+
+func decodeFamilyCounts(r *wireReader) map[dataset.Family]int {
+	n := r.count(2)
+	m := make(map[dataset.Family]int, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		f := dataset.Family(r.str())
+		m[f] = int(r.varint())
+	}
+	return m
+}
+
+// maxRecent mirrors internal/stream's bound on the live candidate ring.
+const maxRecent = 32
+
+// MergeSnapshots reassembles a single-process stream.Snapshot from shard
+// partials. The scalar half comes verbatim from the most advanced shard
+// (highest Ingested, ties to the lowest shard id) — every up-to-date shard
+// replicated the identical tick stream, so their scalars are bit-identical
+// and any one of them is the global truth. The keyed half is summed across
+// the disjoint target partitions and reordered with exactly the tie rules
+// internal/stream applies, so the merged snapshot is byte-identical to the
+// one a single analyzer over the whole feed would produce, for any shard
+// count.
+//
+// Snapshots must be sorted by ShardID (the frontend's fan-out preserves
+// that order). An empty input or an all-empty cluster yields the zero
+// snapshot, matching an analyzer that has ingested nothing.
+func MergeSnapshots(snaps []*ShardSnapshot) stream.Snapshot {
+	var out stream.Snapshot
+	var src *ShardSnapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if src == nil || s.Snap.Ingested > src.Snap.Ingested {
+			src = s
+		}
+	}
+	if src == nil || src.Snap.Ingested == 0 {
+		return out
+	}
+
+	// Global scalar statistics: verbatim from the most advanced shard.
+	out.Ingested = src.Snap.Ingested
+	out.FirstStart = src.Snap.FirstStart
+	out.LastStart = src.Snap.LastStart
+	out.ActiveAttacks = src.Snap.ActiveAttacks
+	out.Intervals = src.Snap.Intervals
+	out.Durations = src.Snap.Durations
+	out.Load = src.Snap.Load
+
+	out.Protocols = mergeProtocols(snaps)
+	out.FamilyProtocol = mergeFamilyProtocol(snaps)
+	out.Daily = mergeDaily(snaps)
+	out.Collaborations = mergeCollab(snaps)
+	return out
+}
+
+// mergeProtocols sums the per-category counts and rebuilds the breakdown
+// with core.ProtocolBreakdown's ordering: count descending, ties by
+// category display order.
+func mergeProtocols(snaps []*ShardSnapshot) []core.ProtocolCount {
+	counts := make(map[dataset.Category]int)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, p := range s.Snap.Protocols {
+			counts[p.Category] += p.Count
+		}
+	}
+	out := make([]core.ProtocolCount, 0, len(counts))
+	for _, c := range dataset.Categories {
+		if counts[c] > 0 {
+			out = append(out, core.ProtocolCount{Category: c, Count: counts[c]})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// mergeFamilyProtocol sums the per-(category, family) counts and rebuilds
+// the Table II ordering: categories in display order, families
+// alphabetically inside each.
+func mergeFamilyProtocol(snaps []*ShardSnapshot) []core.FamilyProtocolRow {
+	counts := make(map[dataset.Category]map[dataset.Family]int)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, fp := range s.Snap.FamilyProtocol {
+			m := counts[fp.Category]
+			if m == nil {
+				m = make(map[dataset.Family]int)
+				counts[fp.Category] = m
+			}
+			m[fp.Family] += fp.Count
+		}
+	}
+	var out []core.FamilyProtocolRow
+	for _, c := range dataset.Categories {
+		fams := make([]dataset.Family, 0, len(counts[c]))
+		for f := range counts[c] {
+			fams = append(fams, f)
+		}
+		sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+		for _, f := range fams {
+			out = append(out, core.FamilyProtocolRow{Category: c, Family: f, Count: counts[c][f]})
+		}
+	}
+	return out
+}
+
+// mergeDaily sums the day buckets by calendar day and recomputes the
+// headline statistics with the Analyzer's exact tie rules (earliest peak
+// day wins; dominant family by count, ties alphabetically; the average
+// spans first day through last day inclusive).
+func mergeDaily(snaps []*ShardSnapshot) core.DailyStats {
+	type bucket struct {
+		count    int
+		byFamily map[dataset.Family]int
+	}
+	days := make(map[int64]*bucket)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, dc := range s.Snap.Daily.Days {
+			key := dc.Day.UnixNano()
+			b := days[key]
+			if b == nil {
+				b = &bucket{byFamily: make(map[dataset.Family]int)}
+				days[key] = b
+			}
+			b.count += dc.Count
+			for f, n := range dc.ByFamily {
+				b.byFamily[f] += n
+			}
+		}
+	}
+
+	keys := make([]int64, 0, len(days))
+	for k := range days {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	st := core.DailyStats{Days: make([]core.DailyCount, 0, len(keys))}
+	total := 0
+	for _, k := range keys {
+		b := days[k]
+		dc := core.DailyCount{
+			Day:      time.Unix(0, k).UTC(),
+			Count:    b.count,
+			ByFamily: make(map[dataset.Family]int, len(b.byFamily)),
+		}
+		for f, n := range b.byFamily {
+			dc.ByFamily[f] = n
+		}
+		st.Days = append(st.Days, dc)
+		total += b.count
+		if b.count > st.Max {
+			st.Max = b.count
+			st.MaxDay = dc.Day
+			best, bestN := dataset.Family(""), 0
+			for f, n := range b.byFamily {
+				if n > bestN || (n == bestN && f < best) {
+					best, bestN = f, n
+				}
+			}
+			st.MaxDominantFamily = best
+		}
+	}
+	if len(keys) > 0 {
+		span := int(time.Unix(0, keys[len(keys)-1]).UTC().Sub(time.Unix(0, keys[0]).UTC()).Hours()/24) + 1
+		st.Average = float64(total) / float64(span)
+	}
+	return st
+}
+
+// mergeCollab sums the Table VI counters over the disjoint target
+// partitions and interleaves the candidate rings back into the exact
+// order a single tracker emits: closed candidates by global sequence of
+// their window's first attack (finalization follows window-creation
+// order, which is seq order), then still-open candidates by (start,
+// target address) — the snapshot's pending sort.
+func mergeCollab(snaps []*ShardSnapshot) stream.CollabSummary {
+	out := stream.CollabSummary{
+		Intra:      make(map[dataset.Family]int),
+		Inter:      make(map[dataset.Family]int),
+		PairCounts: make(map[string]int),
+	}
+	var closed, open []stream.CollabCandidate
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		c := &s.Snap.Collaborations
+		out.TotalIntra += c.TotalIntra
+		out.TotalInter += c.TotalInter
+		out.OpenWindows += c.OpenWindows
+		out.Qualified += c.Qualified
+		out.BotnetTotal += c.BotnetTotal
+		for f, n := range c.Intra {
+			out.Intra[f] += n
+		}
+		for f, n := range c.Inter {
+			out.Inter[f] += n
+		}
+		for p, n := range c.PairCounts {
+			out.PairCounts[p] += n
+		}
+		for _, cand := range c.Recent {
+			if cand.Open {
+				open = append(open, cand)
+			} else {
+				closed = append(closed, cand)
+			}
+		}
+	}
+	sort.Slice(closed, func(i, j int) bool { return closed[i].Seq < closed[j].Seq })
+	sort.Slice(open, func(i, j int) bool {
+		if !open[i].Start.Equal(open[j].Start) {
+			return open[i].Start.Before(open[j].Start)
+		}
+		return lessTarget(open[i].Target, open[j].Target)
+	})
+	out.Recent = append(closed, open...)
+	if len(out.Recent) > maxRecent {
+		out.Recent = out.Recent[len(out.Recent)-maxRecent:]
+	}
+	if len(out.Recent) == 0 {
+		// A single-process snapshot reports null, not [], when no
+		// candidates exist; keep the merged JSON identical.
+		out.Recent = nil
+	}
+	if out.Qualified > 0 {
+		out.MeanBotnets = float64(out.BotnetTotal) / float64(out.Qualified)
+	}
+	return out
+}
+
+// lessTarget orders candidate targets the way the tracker's pending sort
+// does — by address value, not lexically ("9.0.0.1" sorts before
+// "10.0.0.1"). Unparseable targets fall back to string order.
+func lessTarget(a, b string) bool {
+	ia, errA := netip.ParseAddr(a)
+	ib, errB := netip.ParseAddr(b)
+	if errA != nil || errB != nil {
+		return a < b
+	}
+	return ia.Less(ib)
+}

@@ -1,0 +1,329 @@
+// Package cluster implements botscope's sharded serve tier: N shard
+// workers each own a consistent-hash partition of the live ingest stream
+// (reusing internal/stream's online analyzer per shard), and a stateless
+// frontend fans /api/live/* queries and /api/ingest batches out over a
+// versioned binary wire protocol, merging shard responses so the cluster's
+// output is byte-identical to a single-process server for any shard count.
+//
+// The determinism argument has two halves. Keyed statistics (protocol and
+// family counters, daily buckets, collaboration windows) are partitioned
+// by target IP — the same key the collaboration detector groups by — so
+// each shard's partial is exact over a disjoint partition and the merge is
+// integer addition plus a canonical reorder. Global-order scalar
+// statistics (inter-attack gaps, durations, the concurrent-load sweep)
+// depend on the interleaving of the whole stream and cannot be merged from
+// partitioned accumulators without float reassociation; instead every
+// attack's (id, start, end) tick is replicated to every shard, each shard
+// folds the identical tick sequence through the identical stream.Scalars
+// code, and the merge takes the scalars from any up-to-date shard.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+)
+
+// Wire protocol constants. The magic and version lead every frame so a
+// frontend and shard from different builds fail fast instead of
+// misinterpreting each other.
+const (
+	wireMagic   = "BSCW"
+	wireVersion = 1
+
+	// headerLen is magic(4) + version(1) + type(1) + flags(2) + reqID(4) +
+	// payload length(4).
+	headerLen = 16
+
+	// maxPayload bounds a frame's payload so a corrupt or malicious length
+	// prefix cannot force an arbitrary allocation.
+	maxPayload = 64 << 20
+)
+
+// Frame types.
+const (
+	msgHello     byte = 1 // frontend → shard: open a session
+	msgHelloAck  byte = 2 // shard → frontend: shard id + applied count
+	msgIngest    byte = 3 // frontend → shard: ordered batch of records/ticks
+	msgIngestAck byte = 4 // shard → frontend: batch applied (or busy)
+	msgSnap      byte = 5 // frontend → shard: request a snapshot
+	msgSnapResp  byte = 6 // shard → frontend: encoded ShardSnapshot
+	msgLeave     byte = 7 // frontend → shard: reset state for a clean rejoin
+	msgLeaveAck  byte = 8 // shard → frontend: state dropped
+	msgPing      byte = 9 // liveness probe
+	msgPong      byte = 10
+)
+
+// Frame flags.
+const (
+	// flagBusy marks an ack for a request the shard had to refuse because
+	// its bounded ingest queue was full — the backpressure signal.
+	flagBusy uint16 = 1 << 0
+	// flagError marks an ack whose payload is an error string.
+	flagError uint16 = 1 << 1
+)
+
+// Frame is one wire protocol message.
+type Frame struct {
+	Type    byte
+	Flags   uint16
+	ReqID   uint32
+	Payload []byte
+}
+
+// Wire protocol errors.
+var (
+	ErrBadMagic    = errors.New("cluster: bad wire magic")
+	ErrBadVersion  = errors.New("cluster: unsupported wire version")
+	ErrFrameTooBig = errors.New("cluster: frame payload exceeds limit")
+	ErrTruncated   = errors.New("cluster: truncated wire payload")
+)
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice (caller owns the buffer).
+//
+//botscope:hotpath
+func AppendFrame(dst []byte, f *Frame) []byte {
+	dst = append(dst, wireMagic...)
+	dst = append(dst, wireVersion, f.Type)
+	dst = binary.BigEndian.AppendUint16(dst, f.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, f.ReqID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// ReadFrame reads one frame from r, allocating the payload.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	f, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("cluster: reading %d-byte payload: %w", n, err)
+		}
+	}
+	return f, nil
+}
+
+// parseHeader decodes the fixed header, returning the frame shell and the
+// declared payload length.
+func parseHeader(hdr []byte) (Frame, int, error) {
+	if string(hdr[:4]) != wireMagic {
+		return Frame{}, 0, ErrBadMagic
+	}
+	if hdr[4] != wireVersion {
+		return Frame{}, 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[4], wireVersion)
+	}
+	n := binary.BigEndian.Uint32(hdr[12:16])
+	if n > maxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	return Frame{
+		Type:  hdr[5],
+		Flags: binary.BigEndian.Uint16(hdr[6:8]),
+		ReqID: binary.BigEndian.Uint32(hdr[8:12]),
+	}, int(n), nil
+}
+
+// DecodeFrame parses one frame from a byte slice (the fuzzer's entry
+// point; the streaming path uses ReadFrame). The returned frame's payload
+// aliases data.
+func DecodeFrame(data []byte) (Frame, error) {
+	if len(data) < headerLen {
+		return Frame{}, ErrTruncated
+	}
+	f, n, err := parseHeader(data[:headerLen])
+	if err != nil {
+		return Frame{}, err
+	}
+	if len(data)-headerLen < n {
+		return Frame{}, ErrTruncated
+	}
+	f.Payload = data[headerLen : headerLen+n]
+	return f, nil
+}
+
+// wireWriter appends primitive values to a reusable buffer. All integers
+// are unsigned varints (signed values zigzag first), floats cross as their
+// IEEE-754 bit patterns so they survive the wire bit-exactly, strings and
+// byte blobs are length-prefixed.
+type wireWriter struct {
+	buf []byte
+}
+
+//botscope:hotpath
+func (w *wireWriter) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+//botscope:hotpath
+func (w *wireWriter) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+//botscope:hotpath
+func (w *wireWriter) f64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+//botscope:hotpath
+func (w *wireWriter) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+//botscope:hotpath
+func (w *wireWriter) bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// addr encodes a netip.Addr as a 1-byte length (4 or 16) plus raw bytes.
+func (w *wireWriter) addr(a netip.Addr) {
+	if a.Is4() {
+		b := a.As4()
+		w.buf = append(w.buf, 4)
+		w.buf = append(w.buf, b[:]...)
+		return
+	}
+	b := a.As16()
+	w.buf = append(w.buf, 16)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// wireReader consumes primitives from a payload with a sticky error, so
+// decode paths read linearly and check once at the end.
+type wireReader struct {
+	buf []byte
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *wireReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *wireReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *wireReader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) < 1 {
+		r.fail()
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b != 0
+}
+
+func (r *wireReader) addr() netip.Addr {
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	if len(r.buf) < 1 {
+		r.fail()
+		return netip.Addr{}
+	}
+	n := int(r.buf[0])
+	r.buf = r.buf[1:]
+	if n != 4 && n != 16 {
+		r.fail()
+		return netip.Addr{}
+	}
+	if len(r.buf) < n {
+		r.fail()
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if n == 4 {
+		a = netip.AddrFrom4([4]byte(r.buf[:4]))
+	} else {
+		a = netip.AddrFrom16([16]byte(r.buf[:16]))
+	}
+	r.buf = r.buf[n:]
+	return a
+}
+
+// count reads a collection length and sanity-checks it against the bytes
+// remaining (every element costs at least minBytes), so a corrupt count
+// cannot force an arbitrary allocation.
+func (r *wireReader) count(minBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(len(r.buf)/minBytes) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}

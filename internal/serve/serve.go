@@ -9,7 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"net"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -35,6 +35,7 @@ type Server struct {
 	workload  *experiments.Workload
 	live      *stream.Analyzer
 	mux       *http.ServeMux
+	h         http.Handler
 
 	// Ingest telemetry: how the live feed is being driven, independent of
 	// the event-time analytics the stream analyzer owns.
@@ -57,6 +58,7 @@ func New(store *dataset.Store, scale float64) *Server {
 		mux:       http.NewServeMux(),
 	}
 	s.routes()
+	s.h = jsonErrors(s.mux)
 	return s
 }
 
@@ -64,7 +66,28 @@ func New(store *dataset.Store, scale float64) *Server {
 func (s *Server) Live() *stream.Analyzer { return s.live }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
+
+// LiveSnapshot implements LiveSource over the in-process analyzer: a
+// single process is never degraded.
+func (s *Server) LiveSnapshot(context.Context) (stream.Snapshot, []int, error) {
+	return s.live.Snapshot(), nil, nil
+}
+
+// LiveIngest implements LiveSource: it streams JSONL records from body
+// into the live analyzer without materializing them. Records preceding a
+// malformed or out-of-order record stay applied.
+func (s *Server) LiveIngest(_ context.Context, body io.Reader) (int, int, error) {
+	ingested := 0
+	err := dataset.DecodeJSONL(body, func(a *dataset.Attack) error {
+		if err := s.live.Ingest(a); err != nil {
+			return err
+		}
+		ingested++
+		return nil
+	})
+	return ingested, s.live.Snapshot().Ingested, err
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
@@ -88,10 +111,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/live/load", s.handleLiveLoad)
 	s.mux.HandleFunc("GET /api/live/collaborations", s.handleLiveCollaborations)
 	s.mux.HandleFunc("GET /api/live/ingeststats", s.handleIngestStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok"))
-	})
+	s.mux.HandleFunc("GET /healthz", handleHealthz)
 }
 
 // writeJSON encodes v with a 200 status.
@@ -335,24 +355,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 // malformed or out-of-order record aborts the request with 422 after the
 // preceding records have been applied.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	ingested := 0
-	err := dataset.DecodeJSONL(r.Body, func(a *dataset.Attack) error {
-		if err := s.live.Ingest(a); err != nil {
-			return err
-		}
-		ingested++
-		return nil
-	})
+	ingested, total, err := s.LiveIngest(r.Context(), r.Body)
 	s.recordIngest(ingested, err != nil)
-	total := s.live.Snapshot().Ingested
 	if err != nil {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusUnprocessableEntity)
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"error":    err.Error(),
-			"ingested": ingested,
-			"total":    total,
-		})
+		writeIngestError(w, err, ingested, total)
 		return
 	}
 	writeJSON(w, map[string]any{"ingested": ingested, "total": total})
@@ -378,16 +384,7 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
 	s.statsMu.Lock()
 	requests, records, rejected, last := s.ingestRequests, s.ingestRecords, s.ingestRejected, s.lastIngest
 	s.statsMu.Unlock()
-	out := struct {
-		Requests   int    `json:"requests"`
-		Records    int    `json:"records"`
-		Rejected   int    `json:"rejected"`
-		LastIngest string `json:"last_ingest,omitempty"`
-	}{Requests: requests, Records: records, Rejected: rejected}
-	if !last.IsZero() {
-		out.LastIngest = last.UTC().Format(time.RFC3339)
-	}
-	writeJSON(w, out)
+	writeIngestStats(w, requests, records, rejected, last)
 }
 
 // liveSnapshot fetches the current snapshot, 422-ing when nothing has been
@@ -395,34 +392,18 @@ func (s *Server) handleIngestStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) liveSnapshot(w http.ResponseWriter) (stream.Snapshot, bool) {
 	snap := s.live.Snapshot()
 	if snap.Ingested == 0 {
-		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("serve: no attacks ingested yet"))
+		writeError(w, http.StatusUnprocessableEntity, errNoIngest)
 		return snap, false
 	}
 	return snap, true
 }
 
+// The live handlers delegate to the shared writeLive* formatters in
+// live.go — the same functions the cluster LiveServer uses — so both
+// deployment shapes emit byte-identical bodies by construction.
+
 func (s *Server) handleLiveSummary(w http.ResponseWriter, _ *http.Request) {
-	snap := s.live.Snapshot()
-	type protoRow struct {
-		Protocol string `json:"protocol"`
-		Count    int    `json:"count"`
-	}
-	out := struct {
-		Ingested      int        `json:"ingested"`
-		FirstStart    string     `json:"first_start,omitempty"`
-		LastStart     string     `json:"last_start,omitempty"`
-		ActiveAttacks int        `json:"active_attacks"`
-		PeakActive    int        `json:"peak_active"`
-		Protocols     []protoRow `json:"protocols"`
-	}{Ingested: snap.Ingested, ActiveAttacks: snap.ActiveAttacks, PeakActive: snap.Load.Peak}
-	if snap.Ingested > 0 {
-		out.FirstStart = snap.FirstStart.UTC().Format(time.RFC3339)
-		out.LastStart = snap.LastStart.UTC().Format(time.RFC3339)
-	}
-	for _, p := range snap.Protocols {
-		out.Protocols = append(out.Protocols, protoRow{Protocol: p.Category.String(), Count: p.Count})
-	}
-	writeJSON(w, out)
+	writeLiveSummary(w, s.live.Snapshot())
 }
 
 func (s *Server) handleLiveDaily(w http.ResponseWriter, _ *http.Request) {
@@ -430,20 +411,7 @@ func (s *Server) handleLiveDaily(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
-	type day struct {
-		Day   string `json:"day"`
-		Count int    `json:"count"`
-	}
-	out := struct {
-		Average float64 `json:"average"`
-		Max     int     `json:"max"`
-		MaxDay  string  `json:"max_day"`
-		Days    []day   `json:"days"`
-	}{Average: snap.Daily.Average, Max: snap.Daily.Max, MaxDay: snap.Daily.MaxDay.Format("2006-01-02")}
-	for _, d := range snap.Daily.Days {
-		out.Days = append(out.Days, day{Day: d.Day.Format("2006-01-02"), Count: d.Count})
-	}
-	writeJSON(w, out)
+	writeLiveDaily(w, snap)
 }
 
 func (s *Server) handleLiveIntervals(w http.ResponseWriter, _ *http.Request) {
@@ -451,7 +419,7 @@ func (s *Server) handleLiveIntervals(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, snap.Intervals)
+	writeLiveIntervals(w, snap)
 }
 
 func (s *Server) handleLiveDurations(w http.ResponseWriter, _ *http.Request) {
@@ -459,7 +427,7 @@ func (s *Server) handleLiveDurations(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, snap.Durations)
+	writeLiveDurations(w, snap)
 }
 
 func (s *Server) handleLiveLoad(w http.ResponseWriter, _ *http.Request) {
@@ -467,17 +435,7 @@ func (s *Server) handleLiveLoad(w http.ResponseWriter, _ *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, struct {
-		Active           int     `json:"active"`
-		Peak             int     `json:"peak"`
-		PeakTime         string  `json:"peak_time"`
-		TimeWeightedMean float64 `json:"time_weighted_mean"`
-	}{
-		Active:           snap.ActiveAttacks,
-		Peak:             snap.Load.Peak,
-		PeakTime:         snap.Load.PeakTime.UTC().Format(time.RFC3339),
-		TimeWeightedMean: snap.Load.TimeWeightedMean,
-	})
+	writeLiveLoad(w, snap)
 }
 
 func (s *Server) handleLiveCollaborations(w http.ResponseWriter, _ *http.Request) {
@@ -485,7 +443,7 @@ func (s *Server) handleLiveCollaborations(w http.ResponseWriter, _ *http.Request
 	if !ok {
 		return
 	}
-	writeJSON(w, snap.Collaborations)
+	writeLiveCollaborations(w, snap)
 }
 
 // ListenAndServe runs the server with sane timeouts until the listener
@@ -499,28 +457,5 @@ func (s *Server) ListenAndServe(addr string) error {
 // cancelled. On cancellation it shuts down gracefully, letting in-flight
 // requests finish within shutdownGrace, and returns nil.
 func (s *Server) ListenAndServeContext(ctx context.Context, addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	srv := &http.Server{
-		Handler:           s,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      120 * time.Second,
-	}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return fmt.Errorf("serve: shutdown: %w", err)
-	}
-	<-errc // drain the http.ErrServerClosed from Serve
-	return nil
+	return listenAndServe(ctx, addr, s)
 }

@@ -21,6 +21,14 @@ type CollabCandidate struct {
 	Families []dataset.Family `json:"families"`
 	Botnets  int              `json:"botnets"`
 	Attacks  int              `json:"attacks"`
+
+	// Seq is the global sequence number of the window's first attack and
+	// Open marks a candidate qualified read-only from a still-open window.
+	// Both exist so the sharded serve tier can interleave candidates from
+	// disjoint target partitions back into this tracker's exact emission
+	// order; they are internal bookkeeping, not part of the JSON shape.
+	Seq  uint64 `json:"-"`
+	Open bool   `json:"-"`
 }
 
 // CollabSummary aggregates live collaboration detection the way the batch
@@ -39,6 +47,13 @@ type CollabSummary struct {
 	// OpenWindows is the number of per-target start windows still inside
 	// the 60 s horizon at snapshot time.
 	OpenWindows int `json:"open_windows"`
+
+	// Qualified and BotnetTotal are the integer numerator/denominator
+	// behind MeanBotnets, exposed (JSON-hidden) so the sharded serve tier
+	// can sum them across disjoint target partitions and recompute the
+	// mean with the identical division a single tracker performs.
+	Qualified   int `json:"-"`
+	BotnetTotal int `json:"-"`
 }
 
 // collabTracker performs windowed cross-botnet collaboration detection:
@@ -67,6 +82,7 @@ type collabTracker struct {
 type openGroup struct {
 	target  netip.Addr
 	anchor  time.Time
+	seq     uint64 // global sequence of the window's first attack
 	attacks []*dataset.Attack
 	closed  bool
 }
@@ -84,14 +100,10 @@ func newCollabTracker(startWindow, durationWindow time.Duration) *collabTracker 
 
 // ingest routes one attack (arriving in global start order) into its
 // target's current window, closing windows the event horizon has passed.
-func (t *collabTracker) ingest(a *dataset.Attack) {
-	// Expire every window whose 60 s horizon precedes this attack: no
-	// future attack can join it, so it can be finalized and released.
-	for len(t.queue) > 0 && a.Start.Sub(t.queue[0].anchor) >= t.startWindow {
-		g := t.queue[0]
-		t.queue = t.queue[1:]
-		t.finalize(g)
-	}
+// seq is the attack's global sequence number; it stamps the window a new
+// attack anchors so cross-shard merges can restore emission order.
+func (t *collabTracker) ingest(a *dataset.Attack, seq uint64) {
+	t.advance(a.Start)
 
 	g := t.open[a.TargetIP]
 	if g != nil && a.Start.Sub(g.anchor) < t.startWindow {
@@ -103,9 +115,22 @@ func (t *collabTracker) ingest(a *dataset.Attack) {
 		// still queued; close it now so the new window replaces it.
 		t.finalize(g)
 	}
-	g = &openGroup{target: a.TargetIP, anchor: a.Start, attacks: []*dataset.Attack{a}}
+	g = &openGroup{target: a.TargetIP, anchor: a.Start, seq: seq, attacks: []*dataset.Attack{a}}
 	t.open[a.TargetIP] = g
 	t.queue = append(t.queue, g)
+}
+
+// advance expires every window whose 60 s horizon precedes event time now:
+// no attack at or after now can join it, so it can be finalized and
+// released. ingest calls it with each attack's start; shard workers also
+// call it (via Analyzer.Advance) for attacks homed on other shards, so
+// windows close at the same global event times on every shard layout.
+func (t *collabTracker) advance(now time.Time) {
+	for len(t.queue) > 0 && now.Sub(t.queue[0].anchor) >= t.startWindow {
+		g := t.queue[0]
+		t.queue = t.queue[1:]
+		t.finalize(g)
+	}
 }
 
 // finalize qualifies a window once and releases its attack references.
@@ -118,7 +143,7 @@ func (t *collabTracker) finalize(g *openGroup) {
 		delete(t.open, g.target)
 	}
 	if c := t.qualify(g); c != nil {
-		t.record(c)
+		t.record(c, g.seq)
 	}
 	g.attacks = nil
 }
@@ -132,7 +157,7 @@ func (t *collabTracker) qualify(g *openGroup) *core.Collaboration {
 }
 
 // record folds one qualified collaboration into the Table VI counters.
-func (t *collabTracker) record(c *core.Collaboration) {
+func (t *collabTracker) record(c *core.Collaboration, seq uint64) {
 	t.qualified++
 	t.totalBotnets += c.Botnets()
 	if c.Intra() {
@@ -155,6 +180,7 @@ func (t *collabTracker) record(c *core.Collaboration) {
 		Families: append([]dataset.Family(nil), c.Families...),
 		Botnets:  c.Botnets(),
 		Attacks:  len(c.Attacks),
+		Seq:      seq,
 	})
 	if len(t.recent) > maxRecentCandidates {
 		t.recent = t.recent[len(t.recent)-maxRecentCandidates:]
@@ -224,11 +250,15 @@ func (t *collabTracker) snapshot() CollabSummary {
 			Families: append([]dataset.Family(nil), c.Families...),
 			Botnets:  c.Botnets(),
 			Attacks:  len(c.Attacks),
+			Seq:      g.seq,
+			Open:     true,
 		})
 	}
 	if len(out.Recent) > maxRecentCandidates {
 		out.Recent = out.Recent[len(out.Recent)-maxRecentCandidates:]
 	}
+	out.Qualified = qualified
+	out.BotnetTotal = botnets
 	if qualified > 0 {
 		out.MeanBotnets = float64(botnets) / float64(qualified)
 	}

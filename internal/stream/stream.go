@@ -3,8 +3,6 @@ package stream
 import (
 	"container/heap"
 	"errors"
-	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
@@ -27,12 +25,17 @@ var ErrOutOfOrder = errors.New("stream: attack starts before the previously inge
 // Memory grows with the number of distinct (day, family) buckets, sketch
 // buckets (hard-capped), currently active attacks, and open collaboration
 // windows — never with the total number of ingested attacks.
+//
+// The global-order scalar statistics (gaps, durations, load) live in an
+// embedded Scalars; the keyed statistics (protocol/family counters, daily
+// buckets, collaboration windows) live here. The sharded serve tier
+// (internal/cluster) splits along exactly this seam: each shard runs the
+// keyed state over its hash partition via IngestAt/Advance, and a
+// separate Scalars over the full tick stream.
 type Analyzer struct {
 	mu sync.RWMutex
 
-	n          int       // guarded by mu
-	firstStart time.Time // guarded by mu
-	lastStart  time.Time // guarded by mu
+	scalars *Scalars // guarded by mu
 
 	// Protocol / family counters (Figs 1-2, Table II).
 	byCategory map[dataset.Category]int                    // guarded by mu
@@ -42,29 +45,6 @@ type Analyzer struct {
 	// attack's day, mirroring core.DailyDistribution's anchoring.
 	dayAnchor time.Time          // guarded by mu
 	days      map[int]*dayBucket // guarded by mu
-
-	// Inter-attack gaps (§III-B): exact moments + counters, sketched
-	// quantiles.
-	gaps      stats.Online    // guarded by mu
-	gapSketch *QuantileSketch // guarded by mu
-	gapZero   int             // guarded by mu
-	gapSimult int             // guarded by mu
-
-	// Durations (§III-C).
-	durs       stats.Online    // guarded by mu
-	durSketch  *QuantileSketch // guarded by mu
-	durUnder1m int             // guarded by mu
-	durUnder4h int             // guarded by mu
-
-	// Concurrent-load sweep (§II-B): a min-heap of active attacks' end
-	// times plus a lazily advanced time-weighted integral.
-	ends      endHeap   // guarded by mu
-	active    int       // guarded by mu
-	peak      int       // guarded by mu
-	peakTime  time.Time // guarded by mu
-	sweepTime time.Time // guarded by mu
-	weightSum float64   // guarded by mu; integral of active count over time, in seconds
-	timeSum   float64   // guarded by mu
 
 	// Windowed cross-botnet collaboration detection (§V).
 	collab *collabTracker // guarded by mu
@@ -79,11 +59,10 @@ type dayBucket struct {
 // windows (60 s start window, 30 min duration window).
 func New() *Analyzer {
 	return &Analyzer{
+		scalars:    NewScalars(),
 		byCategory: make(map[dataset.Category]int),
 		byCatFam:   make(map[dataset.Category]map[dataset.Family]int),
 		days:       make(map[int]*dayBucket),
-		gapSketch:  NewQuantileSketch(0),
-		durSketch:  NewQuantileSketch(0),
 		collab:     newCollabTracker(core.SimultaneousThreshold, core.CollabDurationWindow),
 	}
 }
@@ -94,14 +73,31 @@ func New() *Analyzer {
 // heap and open collaboration windows, both of which drain as event time
 // advances.
 func (s *Analyzer) Ingest(a *dataset.Attack) error {
+	return s.ingest(a, 0)
+}
+
+// IngestAt is Ingest with an explicit global sequence number, for shard
+// workers that see only a hash partition of the feed: seq is the record's
+// 1-based position in the *global* stream, so collaboration candidates
+// detected on different shards can be merged back into the exact order a
+// single analyzer over the whole feed would report. Ingest is equivalent
+// to IngestAt with the analyzer's own running count.
+func (s *Analyzer) IngestAt(a *dataset.Attack, seq uint64) error {
+	return s.ingest(a, seq)
+}
+
+func (s *Analyzer) ingest(a *dataset.Attack, seq uint64) error {
 	if err := a.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	if s.n > 0 && a.Start.Before(s.lastStart) {
-		return fmt.Errorf("%w: %v < %v (attack %d)", ErrOutOfOrder, a.Start, s.lastStart, a.ID)
+	if err := s.scalars.Observe(a.ID, a.Start, a.End); err != nil {
+		return err
+	}
+	if seq == 0 {
+		seq = uint64(s.scalars.N())
 	}
 
 	// Counters.
@@ -113,11 +109,12 @@ func (s *Analyzer) Ingest(a *dataset.Attack) error {
 	}
 	fams[a.Family]++
 
-	// Daily buckets, anchored like core.DailyDistribution.
-	if s.n == 0 {
-		s.firstStart = a.Start
+	// Daily buckets, anchored like core.DailyDistribution. The anchor is
+	// the UTC midnight of the first *ingested* attack (not the first tick):
+	// bucket d resolves to the absolute date anchor+d either way, so shards
+	// with different anchors still agree on every bucket's calendar day.
+	if s.dayAnchor.IsZero() {
 		s.dayAnchor = time.Date(a.Start.Year(), a.Start.Month(), a.Start.Day(), 0, 0, 0, 0, time.UTC)
-		s.sweepTime = a.Start
 	}
 	d := int(a.Start.Sub(s.dayAnchor).Hours() / 24)
 	db := s.days[d]
@@ -128,68 +125,37 @@ func (s *Analyzer) Ingest(a *dataset.Attack) error {
 	db.count++
 	db.byFamily[a.Family]++
 
-	// Inter-attack gap.
-	if s.n > 0 {
-		gap := a.Start.Sub(s.lastStart).Seconds()
-		s.gaps.Add(gap)
-		s.gapSketch.Add(gap)
-		if a.Start.Equal(s.lastStart) {
-			s.gapZero++
-		}
-		if gap < core.SimultaneousThreshold.Seconds() {
-			s.gapSimult++
-		}
-	}
-
-	// Duration.
-	dur := a.Duration().Seconds()
-	s.durs.Add(dur)
-	s.durSketch.Add(dur)
-	if dur <= 60 {
-		s.durUnder1m++
-	}
-	if dur <= 4*3600 {
-		s.durUnder4h++
-	}
-
-	// Concurrent load: retire every attack that ended at or before this
-	// start (ends sort before starts at the same instant, matching the
-	// batch sweep's tie rule), then admit the new one. Zero-duration
-	// attacks never contribute to the active count, as in the batch sweep.
-	now := a.Start.UnixNano()
-	for len(s.ends) > 0 && s.ends[0] <= now {
-		e := heap.Pop(&s.ends).(int64)
-		s.advanceSweep(e)
-		s.active--
-	}
-	s.advanceSweep(now)
-	if a.End.After(a.Start) {
-		s.active++
-		heap.Push(&s.ends, a.End.UnixNano())
-		if s.active > s.peak {
-			s.peak = s.active
-			s.peakTime = a.Start
-		}
-	}
-
 	// Collaboration windows.
-	s.collab.ingest(a)
+	s.collab.ingest(a, seq)
 
-	s.n++
-	s.lastStart = a.Start
 	return nil
 }
 
-// advanceSweep accumulates the active-count integral up to unix-nano t.
-//
-//lockguard:held mu
-func (s *Analyzer) advanceSweep(t int64) {
-	dt := time.Duration(t - s.sweepTime.UnixNano()).Seconds()
-	if dt > 0 {
-		s.weightSum += float64(s.active) * dt
-		s.timeSum += dt
-		s.sweepTime = time.Unix(0, t).UTC()
+// Advance moves the analyzer's event horizon to t without ingesting an
+// attack, expiring collaboration windows no future attack can join. Shard
+// workers call it for every foreign tick (an attack homed on another
+// shard), so windows close at exactly the same global event times they
+// would close at in a single analyzer over the whole feed.
+func (s *Analyzer) Advance(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collab.advance(t)
+}
+
+// Tick folds a foreign attack's (id, start, end) into the scalar state and
+// advances the collaboration horizon, without touching any keyed state.
+// Shard workers call it for attacks homed on other shards: every shard
+// folds the identical global tick sequence through the identical Scalars
+// code, so every shard reports bit-identical global scalar statistics
+// while its keyed statistics cover only its own hash partition.
+func (s *Analyzer) Tick(id dataset.DDoSID, start, end time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.scalars.Observe(id, start, end); err != nil {
+		return err
 	}
+	s.collab.advance(start)
+	return nil
 }
 
 // Snapshot is a point-in-time view of the online state, expressed in the
@@ -231,21 +197,21 @@ func (s *Analyzer) Snapshot() Snapshot {
 	defer s.mu.RUnlock()
 
 	snap := Snapshot{
-		Ingested:      s.n,
-		FirstStart:    s.firstStart,
-		LastStart:     s.lastStart,
-		ActiveAttacks: s.active,
+		Ingested:      s.scalars.N(),
+		FirstStart:    s.scalars.FirstStart(),
+		LastStart:     s.scalars.LastStart(),
+		ActiveAttacks: s.scalars.Active(),
 	}
-	if s.n == 0 {
+	if snap.Ingested == 0 {
 		return snap
 	}
 
 	snap.Protocols = s.protocolBreakdown()
 	snap.FamilyProtocol = s.familyProtocolTable()
 	snap.Daily = s.dailyStats()
-	snap.Intervals = s.intervalStats()
-	snap.Durations = s.durationStats()
-	snap.Load = s.loadStats()
+	snap.Intervals = s.scalars.IntervalStats()
+	snap.Durations = s.scalars.DurationStats()
+	snap.Load = s.scalars.LoadStats()
 	snap.Collaborations = s.collab.snapshot()
 	return snap
 }
@@ -329,7 +295,7 @@ func (s *Analyzer) dailyStats() core.DailyStats {
 	return st
 }
 
-// summary assembles a stats.Summary from exact online moments plus
+// sketchSummary assembles a stats.Summary from exact online moments plus
 // sketched quantiles, with zeros instead of NaNs for tiny samples.
 func sketchSummary(o *stats.Online, sk *QuantileSketch) stats.Summary {
 	if o.N() == 0 {
@@ -350,59 +316,6 @@ func sketchSummary(o *stats.Online, sk *QuantileSketch) stats.Summary {
 	return sum
 }
 
-//lockguard:held mu
-func (s *Analyzer) intervalStats() core.IntervalStats {
-	st := core.IntervalStats{Summary: sketchSummary(&s.gaps, s.gapSketch)}
-	if n := s.gaps.N(); n > 0 {
-		st.ExactZeroFrac = float64(s.gapZero) / float64(n)
-		st.SimultaneousFrac = float64(s.gapSimult) / float64(n)
-	}
-	return st
-}
-
-//lockguard:held mu
-func (s *Analyzer) durationStats() core.DurationStats {
-	st := core.DurationStats{Summary: sketchSummary(&s.durs, s.durSketch)}
-	if n := s.durs.N(); n > 0 {
-		st.FracUnder4h = float64(s.durUnder4h) / float64(n)
-		st.FracUnder60s = float64(s.durUnder1m) / float64(n)
-	}
-	return st
-}
-
-// loadStats finishes the time-weighted integral over a copy of the active
-// heap (draining the still-active attacks to their ends), so at end of
-// stream TimeWeightedMean matches the batch sweep exactly.
-//
-//lockguard:held mu
-func (s *Analyzer) loadStats() core.LoadStats {
-	st := core.LoadStats{Peak: s.peak, PeakTime: s.peakTime}
-	weight, total := s.weightSum, s.timeSum
-	if len(s.ends) > 0 {
-		rest := make(endHeap, len(s.ends))
-		copy(rest, s.ends)
-		active := s.active
-		sweep := s.sweepTime.UnixNano()
-		for len(rest) > 0 {
-			e := heap.Pop(&rest).(int64)
-			dt := time.Duration(e - sweep).Seconds()
-			if dt > 0 {
-				weight += float64(active) * dt
-				total += dt
-				sweep = e
-			}
-			active--
-		}
-	}
-	if total > 0 {
-		st.TimeWeightedMean = weight / total
-	}
-	if math.IsNaN(st.TimeWeightedMean) {
-		st.TimeWeightedMean = 0
-	}
-	return st
-}
-
 // endHeap is a min-heap of attack end times in unix nanoseconds.
 type endHeap []int64
 
@@ -417,3 +330,5 @@ func (h *endHeap) Pop() any {
 	*h = old[:n-1]
 	return x
 }
+
+var _ = heap.Interface(&endHeap{})
