@@ -64,9 +64,10 @@ func main() {
 }
 
 // target abstracts how a client issues one request: in-process handler
-// dispatch or a real HTTP round trip.
+// dispatch or a real HTTP round trip. ctx carries the load window's
+// deadline into every request so a cancelled run stops in-flight work.
 type target interface {
-	do(method, path string, body io.Reader) (status int, err error)
+	do(ctx context.Context, method, path string, body io.Reader) (status int, err error)
 }
 
 // handlerTarget drives an http.Handler in-process with a throwaway
@@ -93,8 +94,8 @@ func (w *nullWriter) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
-func (t handlerTarget) do(method, path string, body io.Reader) (int, error) {
-	req := httptest.NewRequest(method, path, body)
+func (t handlerTarget) do(ctx context.Context, method, path string, body io.Reader) (int, error) {
+	req := httptest.NewRequest(method, path, body).WithContext(ctx)
 	w := &nullWriter{hdr: make(http.Header)}
 	t.h.ServeHTTP(w, req)
 	if w.status == 0 {
@@ -109,8 +110,8 @@ type httpTarget struct {
 	client *http.Client
 }
 
-func (t httpTarget) do(method, path string, body io.Reader) (int, error) {
-	req, err := http.NewRequest(method, t.base+path, body)
+func (t httpTarget) do(ctx context.Context, method, path string, body io.Reader) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, body)
 	if err != nil {
 		return 0, err
 	}
@@ -126,23 +127,23 @@ func (t httpTarget) do(method, path string, body io.Reader) (int, error) {
 // admin is the shard membership surface the churn loop needs; in direct
 // mode the frontend serves it without HTTP.
 type admin interface {
-	ShardLeave(id int) error
-	ShardJoin(id int) error
+	ShardLeave(ctx context.Context, id int) error
+	ShardJoin(ctx context.Context, id int) error
 }
 
 // httpAdmin churns shards through the management routes.
 type httpAdmin struct{ t target }
 
-func (a httpAdmin) ShardLeave(id int) error {
-	st, err := a.t.do(http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/leave", id), nil)
+func (a httpAdmin) ShardLeave(ctx context.Context, id int) error {
+	st, err := a.t.do(ctx, http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/leave", id), nil)
 	if err == nil && st != http.StatusOK {
 		err = fmt.Errorf("leave shard %d: status %d", id, st)
 	}
 	return err
 }
 
-func (a httpAdmin) ShardJoin(id int) error {
-	st, err := a.t.do(http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/join", id), nil)
+func (a httpAdmin) ShardJoin(ctx context.Context, id int) error {
+	st, err := a.t.do(ctx, http.MethodPost, fmt.Sprintf("/api/cluster/shards/%d/join", id), nil)
 	if err == nil && st != http.StatusOK {
 		err = fmt.Errorf("join shard %d: status %d", id, st)
 	}
@@ -216,7 +217,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	// Pre-ingest the seeded feed so queries hit populated analytics.
 	feedStart := time.Now()
-	records, err := ingestFeed(tgt, *seed, *scale)
+	records, err := ingestFeed(ctx, tgt, *seed, *scale)
 	if err != nil {
 		return err
 	}
@@ -240,24 +241,34 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			defer churnWG.Done()
 			ticker := time.NewTicker(*churn)
 			defer ticker.Stop()
+			// One reusable timer for the mid-cycle rejoin wait: time.After
+			// here would allocate a timer per churn cycle that lives until
+			// it fires. The select below always drains rejoin.C.
+			rejoin := time.NewTimer(*churn)
+			if !rejoin.Stop() {
+				<-rejoin.C
+			}
+			defer rejoin.Stop()
 			for {
 				select {
 				case <-loadCtx.Done():
 					return
 				case <-ticker.C:
 				}
-				if err := churner.ShardLeave(victim); err != nil {
+				if err := churner.ShardLeave(loadCtx, victim); err != nil {
 					fmt.Fprintf(os.Stderr, "botload: churn leave: %v\n", err)
 					continue
 				}
+				rejoin.Reset(*churn / 2)
 				select {
 				case <-loadCtx.Done():
-					// Rejoin on the way out so the tier is whole afterwards.
-					_ = churner.ShardJoin(victim)
+					// Rejoin on the way out so the tier is whole afterwards;
+					// loadCtx is done, so use the run's own context.
+					_ = churner.ShardJoin(ctx, victim)
 					return
-				case <-time.After(*churn / 2):
+				case <-rejoin.C:
 				}
-				if err := churner.ShardJoin(victim); err != nil {
+				if err := churner.ShardJoin(loadCtx, victim); err != nil {
 					fmt.Fprintf(os.Stderr, "botload: churn join: %v\n", err)
 				}
 			}
@@ -284,7 +295,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				}
 				ep := i % len(paths)
 				t0 := time.Now()
-				status, err := tgt.do(http.MethodGet, paths[ep], nil)
+				status, err := tgt.do(loadCtx, http.MethodGet, paths[ep], nil)
 				lat := time.Since(t0)
 				st.latencies = append(st.latencies, lat)
 				st.requests[ep]++
@@ -358,7 +369,7 @@ func buildTier(ctx context.Context, n int) (http.Handler, *cluster.Frontend, err
 
 // ingestFeed generates the seeded workload and streams it into the tier
 // as JSONL, returning the record count.
-func ingestFeed(tgt target, seed int64, scale float64) (int, error) {
+func ingestFeed(ctx context.Context, tgt target, seed int64, scale float64) (int, error) {
 	store, err := synth.GenerateStore(synth.Config{Seed: seed, Scale: scale})
 	if err != nil {
 		return 0, err
@@ -368,7 +379,7 @@ func ingestFeed(tgt target, seed int64, scale float64) (int, error) {
 	if err := dataset.WriteJSONL(&buf, attacks); err != nil {
 		return 0, err
 	}
-	status, err := tgt.do(http.MethodPost, "/api/ingest", &buf)
+	status, err := tgt.do(ctx, http.MethodPost, "/api/ingest", &buf)
 	if err != nil {
 		return 0, err
 	}

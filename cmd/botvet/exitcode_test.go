@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildTool compiles the botvet binary once into a temp dir and returns
+// its path. Callers share one build per test binary invocation.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "botvet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/botvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/botvet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeScratchModule materialises a one-file module in a temp dir so the
+// exit-code contract can be pinned against go vet's driver behaviour
+// rather than assumed.
+func writeScratchModule(t *testing.T, mainSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(mainSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const cleanSrc = `package main
+
+func main() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+`
+
+const dirtySrc = `package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+	select {}
+}
+`
+
+const ignoredSrc = `package main
+
+func main() {
+	go func() { //botvet:ignore goleak audited: scratch fixture
+		for {
+		}
+	}()
+	select {}
+}
+`
+
+// TestExitCodes pins the gate's observable contract: go vet with the
+// botvet vettool exits 0 on clean code, 1 when any analyzer reports, and
+// 0 again when the only finding carries a //botvet:ignore audit.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet; skipped in -short")
+	}
+	tool := buildTool(t)
+
+	cases := []struct {
+		name     string
+		src      string
+		wantExit int
+		wantMsg  string
+	}{
+		{name: "clean", src: cleanSrc, wantExit: 0},
+		{name: "dirty", src: dirtySrc, wantExit: 1, wantMsg: "not provably joinable"},
+		{name: "ignored", src: ignoredSrc, wantExit: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeScratchModule(t, tc.src)
+			vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+			vet.Dir = dir
+			out, err := vet.CombinedOutput()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("go vet did not run: %v\n%s", err, out)
+			}
+			if exit != tc.wantExit {
+				t.Errorf("exit = %d, want %d\n%s", exit, tc.wantExit, out)
+			}
+			if tc.wantMsg != "" && !bytes.Contains(out, []byte(tc.wantMsg)) {
+				t.Errorf("output does not mention %q:\n%s", tc.wantMsg, out)
+			}
+		})
+	}
+}
+
+// TestSarifExitCodes pins the -format=sarif wrapper: a dirty module still
+// writes a parseable SARIF log on stdout (CI uploads it before failing)
+// and exits 1; a clean module exits 0 with an empty result set.
+func TestSarifExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet; skipped in -short")
+	}
+	tool := buildTool(t)
+
+	run := func(t *testing.T, src string) (int, *bytes.Buffer) {
+		t.Helper()
+		dir := writeScratchModule(t, src)
+		cmd := exec.Command(tool, "-format=sarif", "./...")
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("botvet -format=sarif did not run: %v\n%s", err, stderr.String())
+		}
+		return exit, &stdout
+	}
+
+	decode := func(t *testing.T, raw *bytes.Buffer) sarifLog {
+		t.Helper()
+		var log sarifLog
+		if err := json.Unmarshal(raw.Bytes(), &log); err != nil {
+			t.Fatalf("stdout is not SARIF JSON: %v\n%s", err, raw.String())
+		}
+		if log.Version != "2.1.0" || len(log.Runs) != 1 {
+			t.Fatalf("malformed SARIF log: version %q, %d runs", log.Version, len(log.Runs))
+		}
+		return log
+	}
+
+	t.Run("dirty", func(t *testing.T) {
+		exit, raw := run(t, dirtySrc)
+		if exit != 1 {
+			t.Errorf("exit = %d, want 1", exit)
+		}
+		log := decode(t, raw)
+		results := log.Runs[0].Results
+		if len(results) == 0 {
+			t.Fatal("dirty module produced no SARIF results")
+		}
+		found := false
+		for _, r := range results {
+			if r.RuleID == "goleak" {
+				found = true
+				if len(r.Locations) == 0 || r.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" {
+					t.Errorf("goleak result lacks a file location: %+v", r)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no goleak result in SARIF output: %+v", results)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		exit, raw := run(t, cleanSrc)
+		if exit != 0 {
+			t.Errorf("exit = %d, want 0", exit)
+		}
+		log := decode(t, raw)
+		if n := len(log.Runs[0].Results); n != 0 {
+			t.Errorf("clean module produced %d SARIF results", n)
+		}
+		if len(log.Runs[0].Tool.Driver.Rules) != len(analyzers) {
+			t.Errorf("rules = %d, want one per analyzer (%d)", len(log.Runs[0].Tool.Driver.Rules), len(analyzers))
+		}
+	})
+}

@@ -1,7 +1,8 @@
 // Botvet is the project-specific static-analysis gate. It bundles the
 // botscope analyzers — nodeterm, lockguard, snapshotalias, floateq,
-// sharedslice, parmerge, hotalloc, rngstream — into a unitchecker binary
-// that `go vet` drives over every package:
+// sharedslice, parmerge, hotalloc, rngstream, plus the SSA-based
+// interprocedural tier (goleak, ctxflow, wireframe) — into a unitchecker
+// binary that `go vet` drives over every package:
 //
 //	go build -o bin/botvet ./cmd/botvet
 //	go vet -vettool=$(pwd)/bin/botvet ./...
@@ -9,6 +10,11 @@
 // `make botvet` (and `make verify`) wire this up; `make botvet-json` runs
 // the same gate with `go vet -json` for machine-readable output, where
 // diagnostics arrive as a JSON object per package keyed by analyzer name.
+//
+// Invoked as `botvet -format=sarif [packages...]` the binary instead
+// drives `go vet -json` over the packages (default ./...) with itself as
+// the vettool and converts the diagnostics to SARIF 2.1.0 on stdout, the
+// format CI uploads as a code-scanning artifact; see sarif.go.
 //
 // Exit codes follow the `go vet` convention the CI gate relies on:
 //
@@ -22,9 +28,14 @@
 package main
 
 import (
+	"os"
+
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"botscope/internal/analysis/ctxflow"
 	"botscope/internal/analysis/floateq"
+	"botscope/internal/analysis/goleak"
 	"botscope/internal/analysis/hotalloc"
 	"botscope/internal/analysis/lockguard"
 	"botscope/internal/analysis/nodeterm"
@@ -32,17 +43,28 @@ import (
 	"botscope/internal/analysis/rngstream"
 	"botscope/internal/analysis/sharedslice"
 	"botscope/internal/analysis/snapshotalias"
+	"botscope/internal/analysis/wireframe"
 )
 
+// analyzers is the full gate, in one place so the unitchecker run and the
+// SARIF rule table stay in lockstep.
+var analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	floateq.Analyzer,
+	goleak.Analyzer,
+	hotalloc.Analyzer,
+	lockguard.Analyzer,
+	nodeterm.Analyzer,
+	parmerge.Analyzer,
+	rngstream.Analyzer,
+	sharedslice.Analyzer,
+	snapshotalias.Analyzer,
+	wireframe.Analyzer,
+}
+
 func main() {
-	unitchecker.Main(
-		floateq.Analyzer,
-		hotalloc.Analyzer,
-		lockguard.Analyzer,
-		nodeterm.Analyzer,
-		parmerge.Analyzer,
-		rngstream.Analyzer,
-		sharedslice.Analyzer,
-		snapshotalias.Analyzer,
-	)
+	if len(os.Args) > 1 && (os.Args[1] == "-format=sarif" || os.Args[1] == "--format=sarif") {
+		os.Exit(sarifMain(os.Args[2:]))
+	}
+	unitchecker.Main(analyzers...)
 }

@@ -1,0 +1,245 @@
+// SARIF output mode: `botvet -format=sarif [packages...]` re-drives the
+// gate through `go vet -vettool=<self> -json` and converts the per-package
+// JSON diagnostics to a single SARIF 2.1.0 log on stdout. CI uploads that
+// log as its code-scanning artifact, so findings land annotated on the PR
+// diff instead of buried in a job log.
+//
+// The exit code mirrors the underlying vet run: 0 clean, 1 findings (the
+// SARIF log is still written — CI uploads it before failing the job), 2
+// driver misuse.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// vetDiag is one diagnostic as `go vet -json` prints it.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// sarifLog is the subset of SARIF 2.1.0 the uploader needs.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func sarifMain(pkgs []string) int {
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "botvet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+
+	args := append([]string{"vet", "-vettool=" + self, "-json"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var vetOut bytes.Buffer
+	cmd.Stdout = &vetOut
+	cmd.Stderr = &vetOut // -json diagnostics arrive on stderr
+	runErr := cmd.Run()
+	if ee, ok := runErr.(*exec.ExitError); ok && ee.ExitCode() > 1 {
+		// Misuse: surface vet's output verbatim.
+		fmt.Fprint(os.Stderr, vetOut.String())
+		return ee.ExitCode()
+	}
+
+	results, rules, perr := parseVetJSON(&vetOut)
+	if perr != nil {
+		// A package that fails to build makes vet emit non-JSON error
+		// lines; show them rather than a decoder error alone.
+		fmt.Fprintf(os.Stderr, "botvet: parsing go vet -json output: %v\n%s", perr, vetOut.String())
+		return 2
+	}
+
+	// Under -json vet exits 0 even when analyzers report, so the gate's
+	// 0-clean/1-findings contract is enforced from the findings themselves.
+	exit := 0
+	if len(results) > 0 || runErr != nil {
+		exit = 1
+	}
+
+	log := buildSarif(results, rules)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		fmt.Fprintf(os.Stderr, "botvet: writing SARIF: %v\n", err)
+		return 2
+	}
+	return exit
+}
+
+type finding struct {
+	analyzer string
+	diag     vetDiag
+}
+
+// parseVetJSON decodes the `go vet -json` stream: `# package` comment
+// lines interleaved with pretty-printed objects of the form
+// {"pkgpath": {"analyzer": [diag, ...]}}.
+func parseVetJSON(r io.Reader) ([]finding, map[string]bool, error) {
+	var jsonOnly bytes.Buffer
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		jsonOnly.WriteString(line)
+		jsonOnly.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	var findings []finding
+	seen := map[string]bool{}
+	dec := json.NewDecoder(&jsonOnly)
+	for {
+		var pkgObj map[string]map[string][]vetDiag
+		if err := dec.Decode(&pkgObj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, err
+		}
+		for _, byAnalyzer := range pkgObj {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					findings = append(findings, finding{analyzer: analyzer, diag: d})
+					seen[analyzer] = true
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].diag.Posn != findings[j].diag.Posn {
+			return findings[i].diag.Posn < findings[j].diag.Posn
+		}
+		return findings[i].diag.Message < findings[j].diag.Message
+	})
+	return findings, seen, nil
+}
+
+func buildSarif(findings []finding, _ map[string]bool) *sarifLog {
+	cwd, _ := os.Getwd()
+
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: doc}})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri, line, col := splitPosn(f.diag.Posn, cwd)
+		results = append(results, sarifResult{
+			RuleID:  f.analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.diag.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+
+	return &sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "botvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// splitPosn breaks a "path:line:col" vet position into a repo-relative
+// URI and coordinates. Windows drive letters do not occur in this repo's
+// CI, so the rightmost two colons delimit line and column.
+func splitPosn(posn, cwd string) (uri string, line, col int) {
+	uri = posn
+	parts := strings.Split(posn, ":")
+	if len(parts) >= 3 {
+		if l, err := strconv.Atoi(parts[len(parts)-2]); err == nil {
+			if c, err := strconv.Atoi(parts[len(parts)-1]); err == nil {
+				line, col = l, c
+				uri = strings.Join(parts[:len(parts)-2], ":")
+			}
+		}
+	}
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+	}
+	return filepath.ToSlash(uri), line, col
+}

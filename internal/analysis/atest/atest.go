@@ -15,6 +15,13 @@
 // Each backquoted or double-quoted string after "want" is a regexp that
 // must match one diagnostic reported on that line; diagnostics with no
 // matching want (and wants with no matching diagnostic) fail the test.
+//
+// RunPkgs extends the harness to a sequence of fixture packages checked in
+// dependency order against a shared fact store, so interprocedural
+// analyzers (the SSA tier: goleak, ctxflow, wireframe) can be tested for
+// cross-package fact propagation: a producer package exports facts, a
+// consumer package imports the producer by path and the harness checks the
+// consumer's diagnostics depend on them.
 package atest
 
 import (
@@ -48,7 +55,88 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 		t.Fatalf("atest: no .go files in %s", dir)
 	}
 
-	info := &types.Info{
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: type-checking %s: %v", dir, err)
+	}
+
+	diags, err := runAnalyzer(a, fset, files, pkg, info, newFactStore())
+	if err != nil {
+		t.Fatalf("atest: running %s on %s: %v", a.Name, dir, err)
+	}
+
+	checkWants(t, fset, files, diags)
+}
+
+// Pkg names one fixture package for RunPkgs: the directory holding its
+// sources and the import path it is type-checked as. Later packages may
+// import earlier ones by that path.
+type Pkg struct {
+	Dir  string
+	Path string
+}
+
+// RunPkgs loads each fixture package in order, type-checking later
+// packages against the earlier ones (so fixtures can import each other by
+// their assigned paths), and runs a over every package against a single
+// shared fact store — the in-memory analogue of a real driver's
+// per-dependency fact files. Diagnostics from all packages are checked
+// against the union of // want comments.
+func RunPkgs(t *testing.T, a *analysis.Analyzer, pkgs []Pkg) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	facts := newFactStore()
+	local := map[string]*types.Package{}
+	imp := &multiImporter{
+		local:    local,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	var allFiles []*ast.File
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		files := parseDir(t, fset, p.Dir)
+		if len(files) == 0 {
+			t.Fatalf("atest: no .go files in %s", p.Dir)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(p.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("atest: type-checking %s: %v", p.Dir, err)
+		}
+		local[p.Path] = pkg
+
+		d, err := runAnalyzer(a, fset, files, pkg, info, facts)
+		if err != nil {
+			t.Fatalf("atest: running %s on %s: %v", a.Name, p.Dir, err)
+		}
+		diags = append(diags, d...)
+		allFiles = append(allFiles, files...)
+	}
+
+	checkWants(t, fset, allFiles, diags)
+}
+
+// multiImporter resolves the fixture packages already checked this run and
+// defers everything else (the standard library) to the source importer.
+type multiImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *multiImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	return m.fallback.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
@@ -57,15 +145,14 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 		Scopes:     map[ast.Node]*types.Scope{},
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check(pkgPath, fset, files, info)
-	if err != nil {
-		t.Fatalf("atest: type-checking %s: %v", dir, err)
-	}
+}
 
+// runAnalyzer executes a and its Requires chain over one package, sharing
+// facts through the given store, and returns the target analyzer's
+// diagnostics (prerequisites stay silent).
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *factStore) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	results := map[*analysis.Analyzer]any{}
-	facts := newFactStore()
 	var exec func(an *analysis.Analyzer) error
 	exec = func(an *analysis.Analyzer) error {
 		if _, done := results[an]; done {
@@ -105,10 +192,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
 		return nil
 	}
 	if err := exec(a); err != nil {
-		t.Fatalf("atest: running %s on %s: %v", a.Name, dir, err)
+		return nil, err
 	}
-
-	checkWants(t, fset, files, diags)
+	return diags, nil
 }
 
 func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
@@ -132,10 +218,13 @@ func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
 }
 
 // factStore is the harness's in-memory stand-in for the fact
-// serialization real drivers perform. Fixture packages import only the
-// standard library, so producer and consumer always share one package and
-// facts never cross a package boundary: exporting stores the fact value
-// keyed by (object, fact type) and importing copies it back by reflection.
+// serialization real drivers perform: exporting stores the fact value
+// keyed by (object, fact type) and importing copies it back by
+// reflection. Under RunPkgs one store spans every fixture package, and
+// because later packages type-check against the earlier packages' live
+// *types.Package values, a consumer's import of a producer object hits
+// the very key the producer exported — cross-package fact propagation
+// without gob round-trips.
 type factStore struct {
 	object  map[types.Object]map[reflect.Type]analysis.Fact
 	pkgFact map[*types.Package]map[reflect.Type]analysis.Fact

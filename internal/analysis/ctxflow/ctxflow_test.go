@@ -1,0 +1,27 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/ctxflow"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", ctxflow.Analyzer, "botscope/internal/cluster/fix")
+}
+
+// TestOutOfScope pins the package gate: the same violations outside the
+// cluster/serve plane stay silent.
+func TestOutOfScope(t *testing.T) {
+	atest.Run(t, "testdata/outofscope", ctxflow.Analyzer, "botscope/internal/dataset/fix")
+}
+
+// TestCrossPackage proves the bgFact flows from a context-less producer to
+// the ctx-holding caller in another package.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, ctxflow.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/store", Path: "botscope/internal/cluster/store"},
+		{Dir: "testdata/xpkg/front", Path: "botscope/internal/serve/front"},
+	})
+}

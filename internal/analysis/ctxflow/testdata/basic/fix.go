@@ -1,0 +1,54 @@
+// Fixture for the ctxflow analyzer: contexts must be threaded from the
+// edge; fresh background contexts below the handler layer are flagged.
+package fix
+
+import (
+	"context"
+	"net/http"
+)
+
+// --- positives ---
+
+func handler(ctx context.Context) {
+	c := context.Background() // want `below the edge discards the in-scope ctx`
+	_ = c
+	_ = ctx
+}
+
+func httpHandler(w http.ResponseWriter, r *http.Request) {
+	c := context.TODO() // want `below the edge discards the in-scope ctx`
+	_ = c
+	_ = w
+}
+
+func dropsDeadline(ctx context.Context) {
+	do(context.Background()) // want `deadline dropped: do receives a fresh context.Background`
+	_ = ctx
+}
+
+func helper() {
+	c := context.Background() // want `below the handler layer`
+	_ = c
+}
+
+func helperPassing() {
+	do(context.TODO()) // want `context.TODO\(\) passed to do below the handler layer`
+}
+
+// --- negatives ---
+
+func do(ctx context.Context) { _ = ctx }
+
+func threaded(ctx context.Context) {
+	do(ctx)
+}
+
+func detached(ctx context.Context) {
+	do(context.WithoutCancel(ctx)) // explicit detachment is the sanctioned form
+}
+
+func audited(ctx context.Context) {
+	c := context.Background() //botvet:ignore ctxflow server-lifetime root context, audited
+	_ = c
+	_ = ctx
+}

@@ -1,0 +1,17 @@
+// Out-of-scope fixture: identical violations to testdata/basic, but the
+// test assigns this package a path outside the cluster/serve plane, so
+// ctxflow must stay silent. No want comments on purpose.
+package fix
+
+import "context"
+
+func handler(ctx context.Context) {
+	c := context.Background()
+	_ = c
+	_ = ctx
+}
+
+func helper() {
+	c := context.TODO()
+	_ = c
+}

@@ -1,0 +1,17 @@
+// Consumer half of the cross-package ctxflow fixture: a ctx-holding
+// handler calling a context-less function known (by fact) to create its
+// own background context is flagged at the call site.
+package front
+
+import (
+	"context"
+
+	"botscope/internal/cluster/store"
+)
+
+func Handle(ctx context.Context) error {
+	if err := store.Connect("shard-0"); err != nil { // want `discards ctx: it creates its own background context`
+		return err
+	}
+	return store.Ping(ctx)
+}

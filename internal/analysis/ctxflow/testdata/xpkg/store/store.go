@@ -1,0 +1,18 @@
+// Producer half of the cross-package ctxflow fixture: Connect is
+// context-less and manufactures its own background context, which exports
+// a fact consumers see.
+package store
+
+import "context"
+
+func Connect(addr string) error {
+	ctx := context.Background() // want `below the handler layer`
+	_ = ctx
+	_ = addr
+	return nil
+}
+
+func Ping(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,23 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/goleak"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", goleak.Analyzer, "fix")
+}
+
+// TestCrossPackage proves joinability facts flow across package
+// boundaries: the consumer launches the producer's functions and the
+// verdict comes from the producer's exported facts, not the consumer's
+// own bodies.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, goleak.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/producer", Path: "fix/producer"},
+		{Dir: "testdata/xpkg/consumer", Path: "fix/consumer"},
+	})
+}

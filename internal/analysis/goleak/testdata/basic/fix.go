@@ -1,0 +1,144 @@
+// Fixture for the goleak analyzer: goroutines that are provably joinable
+// or cancellable stay silent; goroutines nothing can stop are flagged.
+package fix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// --- negatives: provably joinable or cancellable ---
+
+func ctxWorker(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func wgWorker(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+	}()
+}
+
+func oneShot() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+func queueWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func namedJoinable(jobs chan int) {
+	go drain(jobs)
+}
+
+func drain(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+type pump struct{ done chan struct{} }
+
+func (p *pump) run() { <-p.done }
+
+func startPump(p *pump) {
+	go p.run()
+}
+
+// helperJoinable reaches its receive through a same-package call chain.
+func helperJoinable(done chan struct{}) {
+	go func() {
+		waitOn(done)
+	}()
+}
+
+func waitOn(done chan struct{}) { <-done }
+
+// --- positives: nothing can stop these ---
+
+func spin() {
+	go func() { // want `not provably joinable or cancellable`
+		for {
+		}
+	}()
+}
+
+func blockSend(out chan int) {
+	go func() { // want `not provably joinable or cancellable`
+		out <- 1
+	}()
+}
+
+func namedLeak() {
+	go leaky() // want `launching leaky is not provably joinable`
+}
+
+func leaky() {
+	for {
+	}
+}
+
+// A run-to-completion helper must not make a looping caller stoppable:
+// only cancellability propagates through calls.
+func loopWithHelper() {
+	go func() { // want `not provably joinable or cancellable`
+		for {
+			step()
+		}
+	}()
+}
+
+func step() {}
+
+func dynamicLaunch(fns []func()) {
+	go fns[0]() // want `dynamic target`
+}
+
+func audited(out chan int) {
+	go func() { //botvet:ignore goleak terminated by process exit, audited
+		out <- 1
+	}()
+}
+
+// --- timer churn: independent of goroutines ---
+
+func timerChurn(tick chan int, d time.Duration) {
+	for {
+		select {
+		case <-time.After(d): // want `time.After in a select loop`
+			return
+		case v := <-tick:
+			_ = v
+		}
+	}
+}
+
+func timerOnce(tick chan int, d time.Duration) {
+	select {
+	case <-time.After(d): // one-shot select: no churn
+	case v := <-tick:
+		_ = v
+	}
+}

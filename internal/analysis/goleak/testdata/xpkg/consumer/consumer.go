@@ -1,0 +1,27 @@
+// Consumer half of the cross-package goleak fixture: launches resolve
+// joinability through the producer's exported facts.
+package consumer
+
+import "fix/producer"
+
+func ok(jobs chan int) {
+	go producer.Worker(jobs)
+}
+
+func okStraight() {
+	go producer.Straight()
+}
+
+func bad() {
+	go producer.Spin() // want `launching Spin is not provably joinable`
+}
+
+// A cross-package run-to-completion fact is a root proof only: a looping
+// literal that calls Straight is still unstoppable.
+func badLoopCalling() {
+	go func() { // want `not provably joinable or cancellable`
+		for {
+			producer.Straight()
+		}
+	}()
+}

@@ -1,0 +1,20 @@
+// Producer half of the cross-package goleak fixture: Worker is provably
+// joinable (bounded queue) and exports a fact; Spin is not.
+package producer
+
+func Worker(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+func Spin() {
+	for {
+	}
+}
+
+// Straight runs to completion: launchable as a goroutine root, but its
+// proof must not cancel-prove looping callers.
+func Straight() {
+	_ = 1 + 1
+}

@@ -1,0 +1,446 @@
+// Package ssabuild is the builder pass of botvet's second, SSA-based
+// analyzer tier. For every function in the package (declarations and
+// literals alike) it constructs the control-flow graph with the vendored
+// golang.org/x/tools/go/cfg and distills an SSA-form summary: the list of
+// channel operations, calls, and goroutine launches *reachable from the
+// function's entry*, each annotated with whether it executes inside a CFG
+// cycle and inside a select communication clause. Dead code is excluded by
+// construction (ops in non-live blocks are dropped), which is what lifts
+// the consuming analyzers — goleak, ctxflow — from "the body mentions X
+// somewhere" to "X is provably executed on some path", and their facts
+// carry those proofs across package boundaries.
+//
+// The full golang.org/x/tools/go/ssa builder is not part of the offline
+// vendored subset this repo pins, so the tier builds its SSA form on
+// go/cfg: basic blocks with liveness, plus flow-insensitive value
+// summaries (buffered-channel provenance, static callees) resolved through
+// go/types. That is deliberately the fragment the three interprocedural
+// analyzers need — see DESIGN.md "static-gate contracts".
+package ssabuild
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Analyzer builds the per-package SSA-form summaries. It reports nothing
+// itself; the interprocedural analyzers require it and consume its result.
+var Analyzer = &analysis.Analyzer{
+	Name:       "buildssa",
+	Doc:        "build SSA-form function summaries (CFGs plus reachable-operation lists) for the interprocedural botvet tier",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*SSA)(nil)),
+	Run:        run,
+}
+
+// SSA is the package-wide result: one summary per function body.
+type SSA struct {
+	Funcs []*Func
+
+	byNode map[ast.Node]*Func
+	byObj  map[*types.Func]*Func
+}
+
+// FuncFor returns the summary for a *ast.FuncDecl or *ast.FuncLit, or nil.
+func (s *SSA) FuncFor(n ast.Node) *Func { return s.byNode[n] }
+
+// FuncOf returns the summary for a function or method declared in this
+// package, or nil (cross-package callees are resolved through facts).
+func (s *SSA) FuncOf(obj *types.Func) *Func { return s.byObj[obj] }
+
+// Func is one function's SSA-form summary. The op lists hold only
+// operations reachable from entry: an op in dead code never appears.
+type Func struct {
+	Node ast.Node    // *ast.FuncDecl or *ast.FuncLit
+	Obj  *types.Func // declared object; nil for literals
+	Sig  *types.Signature
+	Body *ast.BlockStmt
+	CFG  *cfg.CFG
+
+	Recvs []Op   // channel receives: <-ch, range over a channel, select comm
+	Sends []Op   // channel sends
+	Calls []Call // static and dynamic calls (Callee nil when dynamic)
+	Gos   []Go   // go statements
+
+	// HasLoop is true when some live CFG block lies on a cycle.
+	HasLoop bool
+}
+
+// Name returns a human-readable name for diagnostics.
+func (f *Func) Name() string {
+	if f.Obj != nil {
+		return f.Obj.Name()
+	}
+	return "function literal"
+}
+
+// Op is one reachable channel operation.
+type Op struct {
+	Node     ast.Node
+	InLoop   bool // executes inside a CFG cycle
+	InSelect bool // lies in a select communication clause
+	// Buffered is set on sends whose channel is provably a locally made
+	// buffered channel (make(chan T, c) with constant c >= 1 and no other
+	// assignment anywhere in the package).
+	Buffered bool
+}
+
+// Call is one reachable call site.
+type Call struct {
+	Node     *ast.CallExpr
+	Callee   *types.Func // static callee; nil for dynamic calls
+	InLoop   bool
+	InSelect bool // evaluated as part of a select communication clause
+	Deferred bool
+}
+
+// Go is one reachable goroutine launch.
+type Go struct {
+	Node   *ast.GoStmt
+	Lit    *ast.FuncLit // go func(){...}(); nil for named launches
+	Callee *types.Func  // go f(...) / go x.M(...); nil for literals and dynamic targets
+	InLoop bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	buffered := bufferedChans(ins, pass.TypesInfo)
+	s := &SSA{byNode: map[ast.Node]*Func{}, byObj: map[*types.Func]*Func{}}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var obj *types.Func
+		var sig *types.Signature
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+			obj, _ = pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj != nil {
+				sig, _ = obj.Type().(*types.Signature)
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+			if tv, ok := pass.TypesInfo.Types[fn]; ok {
+				sig, _ = tv.Type.(*types.Signature)
+			}
+		}
+		if body == nil {
+			return
+		}
+		f := buildFunc(pass, n, body, obj, sig, buffered)
+		s.Funcs = append(s.Funcs, f)
+		s.byNode[n] = f
+		if obj != nil {
+			s.byObj[obj] = f
+		}
+	})
+	return s, nil
+}
+
+// buildFunc constructs one summary: CFG, cycle analysis, then a walk of
+// the body that keeps only ops mapping into live blocks.
+func buildFunc(pass *analysis.Pass, node ast.Node, body *ast.BlockStmt, obj *types.Func, sig *types.Signature, buffered map[types.Object]bool) *Func {
+	f := &Func{Node: node, Obj: obj, Sig: sig, Body: body}
+	f.CFG = cfg.New(body, mayReturn(pass))
+
+	// A block lies on a cycle iff it can reach itself.
+	inCycle := make([]bool, len(f.CFG.Blocks))
+	for _, b := range f.CFG.Blocks {
+		if b.Live && reaches(b, b) {
+			inCycle[b.Index] = true
+			f.HasLoop = true
+		}
+	}
+
+	// Index every block node's source range so ops found in the AST walk
+	// can be placed (node ranges within one function never partially
+	// overlap: the narrowest containing range wins).
+	type span struct {
+		pos, end token.Pos
+		live     bool
+		cycle    bool
+	}
+	var spans []span
+	for _, b := range f.CFG.Blocks {
+		for _, n := range b.Nodes {
+			spans = append(spans, span{n.Pos(), n.End(), b.Live, inCycle[b.Index]})
+		}
+	}
+	place := func(n ast.Node) (live, cycle bool) {
+		best := -1
+		for i, sp := range spans {
+			if sp.pos <= n.Pos() && n.End() <= sp.end {
+				if best < 0 || sp.pos > spans[best].pos || sp.end < spans[best].end {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			// Control-statement scaffolding not materialized in any block
+			// (e.g. an empty clause): assume reachable, not looping.
+			return true, false
+		}
+		return spans[best].live, spans[best].cycle
+	}
+
+	// Select communication clauses, by source range: the CFG evaluates
+	// comm expressions in the block preceding the select, so membership is
+	// recovered positionally.
+	var comms []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != node {
+			return false // nested literals get their own summary
+		}
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			comms = append(comms, span{pos: cc.Comm.Pos(), end: cc.Comm.End()})
+		}
+		return true
+	})
+	inComm := func(n ast.Node) bool {
+		for _, c := range comms {
+			if c.pos <= n.Pos() && n.End() <= c.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return x == node // nested literals are separate functions
+			case *ast.DeferStmt:
+				walk(x.Call, true)
+				return false
+			case *ast.GoStmt:
+				live, cycle := place(x)
+				if live {
+					g := Go{Node: x, InLoop: cycle}
+					switch fun := ast.Unparen(x.Call.Fun).(type) {
+					case *ast.FuncLit:
+						g.Lit = fun
+					default:
+						g.Callee = typeutil.StaticCallee(pass.TypesInfo, x.Call)
+					}
+					f.Gos = append(f.Gos, g)
+				}
+				// Arguments are evaluated by the launching goroutine.
+				for _, arg := range x.Call.Args {
+					walk(arg, deferred)
+				}
+				return false
+			case *ast.SendStmt:
+				if live, cycle := place(x); live {
+					f.Sends = append(f.Sends, Op{
+						Node: x, InLoop: cycle, InSelect: inComm(x),
+						Buffered: buffered[chanObj(pass.TypesInfo, x.Chan)],
+					})
+				}
+				return true
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if live, cycle := place(x); live {
+						f.Recvs = append(f.Recvs, Op{Node: x, InLoop: cycle, InSelect: inComm(x)})
+					}
+				}
+				return true
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if live, cycle := place(x.X); live {
+							f.Recvs = append(f.Recvs, Op{Node: x, InLoop: cycle})
+						}
+					}
+				}
+				return true
+			case *ast.CallExpr:
+				if live, cycle := place(x); live {
+					f.Calls = append(f.Calls, Call{
+						Node:   x,
+						Callee: typeutil.StaticCallee(pass.TypesInfo, x),
+						InLoop: cycle, InSelect: inComm(x), Deferred: deferred,
+					})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return f
+}
+
+// reaches reports whether dst is reachable from src's successors.
+func reaches(src, dst *cfg.Block) bool {
+	seen := map[*cfg.Block]bool{}
+	var stack []*cfg.Block
+	stack = append(stack, src.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// bufferedChans resolves, flow-insensitively but package-wide, the set of
+// variables that only ever hold a buffered channel from a constant-capacity
+// make. A variable assigned anything else (or a zero/non-constant capacity)
+// never qualifies.
+func bufferedChans(ins *inspector.Inspector, info *types.Info) map[types.Object]bool {
+	state := map[types.Object]int{} // 1 = all makes buffered, -1 = disqualified
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if rhs != nil && isBufferedMake(info, rhs) && state[obj] >= 0 {
+			state[obj] = 1
+			return
+		}
+		state[obj] = -1
+	}
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil)}, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				for _, l := range x.Lhs {
+					record(l, nil)
+				}
+				return
+			}
+			for i, l := range x.Lhs {
+				record(l, x.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) != len(x.Values) {
+				return // zero values: nil channels, irrelevant
+			}
+			for i, name := range x.Names {
+				record(name, x.Values[i])
+			}
+		}
+	})
+	out := make(map[types.Object]bool)
+	for obj, st := range state {
+		if st == 1 {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isBufferedMake reports whether e is make(chan T, c) with constant c >= 1.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if v, exact := constantInt(tv); exact && v >= 1 {
+		return true
+	}
+	return false
+}
+
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	var v int64
+	neg := false
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(r-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// chanObj peels the channel operand of a send down to its root object.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			// A field-held channel: resolve the field object itself so
+			// package-wide make-tracking can still disqualify it.
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mayReturn is the CFG builder's no-return oracle: panic, os.Exit,
+// runtime.Goexit, and log.Fatal* terminate control flow.
+func mayReturn(pass *analysis.Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "panic" {
+				return false
+			}
+		}
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() != "Exit"
+		case "runtime":
+			return fn.Name() != "Goexit"
+		case "log":
+			return !strings.HasPrefix(fn.Name(), "Fatal") && fn.Name() != "Panic" && fn.Name() != "Panicf" && fn.Name() != "Panicln"
+		}
+		return true
+	}
+}

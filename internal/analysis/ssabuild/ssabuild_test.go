@@ -1,0 +1,234 @@
+package ssabuild_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/ssabuild"
+)
+
+const fixture = `package fix
+
+import "sync"
+
+func loopRecv(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+func selectRecv(a, b chan int, done chan struct{}) {
+	for {
+		select {
+		case <-a:
+		case v := <-b:
+			_ = v
+		case <-done:
+			return
+		}
+	}
+}
+
+func oneShot() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+func unbufferedSend(out chan int) {
+	out <- 1
+}
+
+func worker(wg *sync.WaitGroup, jobs chan int) {
+	defer wg.Done()
+	for j := range jobs {
+		_ = j
+	}
+}
+
+func launches(wg *sync.WaitGroup, jobs chan int) {
+	wg.Add(1)
+	go worker(wg, jobs)
+}
+
+func deadCode(ch chan int) {
+	return
+	<-ch
+}
+
+func nested() {
+	f := func(ch chan int) { <-ch }
+	_ = f
+}
+`
+
+// build type-checks the fixture and runs the buildssa analyzer over it the
+// way a driver would, with the inspector result pre-seeded.
+func build(t *testing.T) *ssabuild.SSA {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fix.go", fixture, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	files := []*ast.File{file}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fix", fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  ssabuild.Analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		ResultOf: map[*analysis.Analyzer]any{
+			inspect.Analyzer: inspector.New(files),
+		},
+		Report: func(analysis.Diagnostic) {},
+	}
+	res, err := ssabuild.Analyzer.Run(pass)
+	if err != nil {
+		t.Fatalf("buildssa: %v", err)
+	}
+	return res.(*ssabuild.SSA)
+}
+
+func fn(t *testing.T, s *ssabuild.SSA, name string) *ssabuild.Func {
+	t.Helper()
+	for _, f := range s.Funcs {
+		if f.Obj != nil && f.Obj.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("no summary for %s", name)
+	return nil
+}
+
+func TestLoopReceive(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "loopRecv")
+	if !f.HasLoop {
+		t.Errorf("loopRecv: HasLoop = false, want true")
+	}
+	if len(f.Recvs) != 1 || !f.Recvs[0].InLoop {
+		t.Errorf("loopRecv: Recvs = %+v, want one in-loop receive", f.Recvs)
+	}
+}
+
+func TestSelectCommMembership(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "selectRecv")
+	if len(f.Recvs) != 3 {
+		t.Fatalf("selectRecv: %d receives, want 3", len(f.Recvs))
+	}
+	for i, r := range f.Recvs {
+		if !r.InSelect {
+			t.Errorf("selectRecv: receive %d not marked InSelect", i)
+		}
+		if !r.InLoop {
+			t.Errorf("selectRecv: receive %d not marked InLoop", i)
+		}
+	}
+}
+
+func TestBufferedOneShot(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "oneShot")
+	if len(f.Gos) != 1 || f.Gos[0].Lit == nil {
+		t.Fatalf("oneShot: Gos = %+v, want one literal launch", f.Gos)
+	}
+	lit := s.FuncFor(f.Gos[0].Lit)
+	if lit == nil {
+		t.Fatal("oneShot: no summary for launched literal")
+	}
+	if lit.HasLoop {
+		t.Errorf("oneShot literal: HasLoop = true, want false")
+	}
+	if len(lit.Sends) != 1 || !lit.Sends[0].Buffered {
+		t.Errorf("oneShot literal: Sends = %+v, want one buffered send", lit.Sends)
+	}
+}
+
+func TestUnbufferedSend(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "unbufferedSend")
+	if len(f.Sends) != 1 || f.Sends[0].Buffered {
+		t.Errorf("unbufferedSend: Sends = %+v, want one unbuffered send", f.Sends)
+	}
+}
+
+func TestWorkerJoinShape(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "worker")
+	if len(f.Recvs) != 1 {
+		t.Errorf("worker: %d receives, want 1 (range over jobs)", len(f.Recvs))
+	}
+	var sawDone, deferredDone bool
+	for _, c := range f.Calls {
+		if c.Callee != nil && c.Callee.Name() == "Done" {
+			sawDone = true
+			deferredDone = c.Deferred
+		}
+	}
+	if !sawDone || !deferredDone {
+		t.Errorf("worker: WaitGroup.Done call not recorded as deferred (saw=%v deferred=%v)", sawDone, deferredDone)
+	}
+}
+
+func TestNamedLaunchResolved(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "launches")
+	if len(f.Gos) != 1 || f.Gos[0].Callee == nil || f.Gos[0].Callee.Name() != "worker" {
+		t.Fatalf("launches: Gos = %+v, want one launch of worker", f.Gos)
+	}
+	if target := s.FuncOf(f.Gos[0].Callee); target == nil || target != fn(t, s, "worker") {
+		t.Errorf("FuncOf(worker) did not resolve to worker's summary")
+	}
+}
+
+func TestDeadCodeExcluded(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "deadCode")
+	if len(f.Recvs) != 0 {
+		t.Errorf("deadCode: receive after return kept (%+v); dead ops must be dropped", f.Recvs)
+	}
+}
+
+func TestNestedLiteralSeparation(t *testing.T) {
+	s := build(t)
+	f := fn(t, s, "nested")
+	if len(f.Recvs) != 0 {
+		t.Errorf("nested: outer function owns the literal's receive (%+v)", f.Recvs)
+	}
+	var lit *ssabuild.Func
+	for _, g := range s.Funcs {
+		if g.Obj == nil {
+			if _, ok := g.Node.(*ast.FuncLit); ok && g.Body.Pos() > f.Body.Pos() && g.Body.End() < f.Body.End() {
+				lit = g
+			}
+		}
+	}
+	if lit == nil || len(lit.Recvs) != 1 {
+		t.Errorf("nested literal summary missing its receive")
+	}
+}

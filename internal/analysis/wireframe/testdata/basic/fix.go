@@ -1,0 +1,80 @@
+// Fixture for the wireframe analyzer: switches over //botvet:wire enums
+// must cover every declared constant; default does not count.
+package fix
+
+//botvet:wire
+type FrameKind byte
+
+const (
+	FrameData FrameKind = iota
+	FrameAck
+	FrameClose
+)
+
+// FrameAlias shares FrameData's value: covering either covers the value.
+const FrameAlias FrameKind = FrameData
+
+//botvet:wire
+type Verb string
+
+const (
+	VerbJoin  Verb = "join"
+	VerbLeave Verb = "leave"
+)
+
+// untracked has no directive; switches over it are never checked.
+type untracked int
+
+const (
+	uA untracked = iota
+	uB
+)
+
+func exhaustive(k FrameKind) int {
+	switch k {
+	case FrameData:
+		return 1
+	case FrameAck, FrameClose:
+		return 2
+	}
+	return 0
+}
+
+func missingOne(k FrameKind) {
+	switch k { // want `missing FrameClose`
+	case FrameData:
+	case FrameAck:
+	default:
+	}
+}
+
+func missingTwo(k FrameKind) {
+	switch k { // want `missing FrameAck, FrameClose`
+	case FrameData:
+	}
+}
+
+func stringEnum(v Verb) {
+	switch v { // want `missing VerbLeave`
+	case VerbJoin:
+	}
+}
+
+func audited(k FrameKind) {
+	//botvet:ignore wireframe ack-only fast path, audited
+	switch k {
+	case FrameAck:
+	}
+}
+
+func notTracked(u untracked) {
+	switch u {
+	case uA:
+	}
+}
+
+func plainInt(n int) {
+	switch n {
+	case 1:
+	}
+}

@@ -1,0 +1,9 @@
+// Fixture for degenerate //botvet:wire declarations: a memberless enum
+// and a non-constant-able underlying type are declaration-site errors.
+package fix
+
+//botvet:wire
+type empty byte // want `declares no package-level constants`
+
+//botvet:wire
+type wrong struct{} // want `must have an integer or string underlying type`

@@ -1,0 +1,18 @@
+// Consumer half of the cross-package wireframe fixture: switches here are
+// checked against the declaring package's constant set via the fact.
+package peer
+
+import "fix/wire"
+
+func handle(k wire.Kind) {
+	switch k { // want `missing KindBye`
+	case wire.KindSnap:
+	case wire.KindDelta:
+	}
+}
+
+func handleAll(k wire.Kind) {
+	switch k {
+	case wire.KindSnap, wire.KindDelta, wire.KindBye:
+	}
+}

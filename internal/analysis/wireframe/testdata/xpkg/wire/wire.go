@@ -1,0 +1,12 @@
+// Producer half of the cross-package wireframe fixture: the wire enum and
+// its member set live here; the fact carries them to importers.
+package wire
+
+//botvet:wire
+type Kind uint8
+
+const (
+	KindSnap Kind = iota
+	KindDelta
+	KindBye
+)

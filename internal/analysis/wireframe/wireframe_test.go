@@ -1,0 +1,25 @@
+package wireframe_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/wireframe"
+)
+
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", wireframe.Analyzer, "fix")
+}
+
+func TestInertDeclarations(t *testing.T) {
+	atest.Run(t, "testdata/inert", wireframe.Analyzer, "fix")
+}
+
+// TestCrossPackage proves the member-set fact flows from the declaring
+// package to switches in importers.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, wireframe.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/wire", Path: "fix/wire"},
+		{Dir: "testdata/xpkg/peer", Path: "fix/peer"},
+	})
+}

@@ -1,0 +1,35 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+
+	"botscope/internal/cluster"
+)
+
+// TestShardAdminHonorsCallerContext pins the deadline-threading contract
+// of the admin surface: leave/join run under the caller's context, so a
+// cancelled admin request cannot start an unbounded reconnect.
+func TestShardAdminHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	local, err := cluster.StartLocal(ctx, 2, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	if err := local.Frontend.ShardLeave(ctx, 1); err != nil {
+		t.Fatalf("ShardLeave: %v", err)
+	}
+
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if err := local.Frontend.ShardJoin(dead, 1); err == nil {
+		t.Fatal("ShardJoin with a cancelled context succeeded; the caller's deadline is being dropped")
+	}
+
+	if err := local.Frontend.ShardJoin(ctx, 1); err != nil {
+		t.Fatalf("ShardJoin after cancelled attempt: %v", err)
+	}
+}

@@ -397,15 +397,17 @@ func (f *Frontend) ClusterStatus() any {
 
 // ShardLeave gracefully removes a shard: its keys reroute to the
 // survivors, its state is dropped (so a rejoin starts clean), and queries
-// report its partition as degraded until a rejoin refills it.
-func (f *Frontend) ShardLeave(id int) error {
+// report its partition as degraded until a rejoin refills it. ctx is the
+// caller's (typically the admin request's) deadline, tightened to the
+// ingest timeout.
+func (f *Frontend) ShardLeave(ctx context.Context, id int) error {
 	f.mu.Lock()
 	c := f.clients[id]
 	f.mu.Unlock()
 	if c == nil {
 		return &StatusError{Status: 404, Message: fmt.Sprintf("cluster: shard %d not connected", id)}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), f.ingestTimeout)
+	ctx, cancel := context.WithTimeout(ctx, f.ingestTimeout)
 	defer cancel()
 	_ = c.leave(ctx) // best effort: a dead shard is removed regardless
 	f.markDown(id)
@@ -413,15 +415,16 @@ func (f *Frontend) ShardLeave(id int) error {
 }
 
 // ShardJoin (re)connects a shard at its last known address and adds it
-// back to the ring.
-func (f *Frontend) ShardJoin(id int) error {
+// back to the ring, under the caller's deadline tightened to the ingest
+// timeout.
+func (f *Frontend) ShardJoin(ctx context.Context, id int) error {
 	f.mu.RLock()
 	addr, known := f.addrs[id]
 	f.mu.RUnlock()
 	if !known {
 		return &StatusError{Status: 404, Message: fmt.Sprintf("cluster: shard %d has no known address", id)}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), f.ingestTimeout)
+	ctx, cancel := context.WithTimeout(ctx, f.ingestTimeout)
 	defer cancel()
 	return f.join(ctx, id, addr)
 }

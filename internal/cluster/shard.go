@@ -148,19 +148,16 @@ func (s *Shard) readLoop(c *shardConn) {
 			select {
 			case s.work <- shardJob{frame: f, conn: c}:
 			default:
-				ackType := msgIngestAck
-				switch f.Type {
-				case msgSnap:
-					ackType = msgSnapResp
-				case msgLeave:
-					ackType = msgLeaveAck
-				}
-				if c.writeFrame(&Frame{Type: ackType, Flags: flagBusy, ReqID: f.ReqID}) != nil {
+				if c.writeFrame(&Frame{Type: f.Type.ack(), Flags: flagBusy, ReqID: f.ReqID}) != nil {
 					return
 				}
 			}
+		case msgHelloAck, msgIngestAck, msgSnapResp, msgLeaveAck, msgPong:
+			// A shard never receives acks: the peer has its roles reversed.
+			// Drop the connection so it renegotiates.
+			return
 		default:
-			// Unknown frame type: protocol error; drop the connection so
+			// Unknown frame kind: protocol error; drop the connection so
 			// the peer renegotiates rather than desynchronizing.
 			return
 		}
@@ -178,6 +175,10 @@ func (s *Shard) applier() {
 			s.applySnap(job)
 		case msgLeave:
 			s.applyLeave(job)
+		case msgHello, msgHelloAck, msgIngestAck, msgSnapResp, msgLeaveAck, msgPing, msgPong:
+			// Never queued: readLoop answers hello/ping inline and rejects
+			// acks before this point. Listed so the wireframe gate forces a
+			// decision here whenever the protocol grows a kind.
 		}
 	}
 }

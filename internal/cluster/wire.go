@@ -43,19 +43,61 @@ const (
 	maxPayload = 64 << 20
 )
 
-// Frame types.
+// FrameKind identifies one BSCW frame type. The set is closed: botvet's
+// wireframe analyzer checks every switch over a FrameKind against the
+// constants below, so adding a kind forces every dispatch point to decide
+// how to handle it — protocol drift fails the gate instead of silently
+// falling through a default.
+//
+//botvet:wire
+type FrameKind byte
+
+// Frame kinds.
 const (
-	msgHello     byte = 1 // frontend → shard: open a session
-	msgHelloAck  byte = 2 // shard → frontend: shard id + applied count
-	msgIngest    byte = 3 // frontend → shard: ordered batch of records/ticks
-	msgIngestAck byte = 4 // shard → frontend: batch applied (or busy)
-	msgSnap      byte = 5 // frontend → shard: request a snapshot
-	msgSnapResp  byte = 6 // shard → frontend: encoded ShardSnapshot
-	msgLeave     byte = 7 // frontend → shard: reset state for a clean rejoin
-	msgLeaveAck  byte = 8 // shard → frontend: state dropped
-	msgPing      byte = 9 // liveness probe
-	msgPong      byte = 10
+	msgHello     FrameKind = 1 // frontend → shard: open a session
+	msgHelloAck  FrameKind = 2 // shard → frontend: shard id + applied count
+	msgIngest    FrameKind = 3 // frontend → shard: ordered batch of records/ticks
+	msgIngestAck FrameKind = 4 // shard → frontend: batch applied (or busy)
+	msgSnap      FrameKind = 5 // frontend → shard: request a snapshot
+	msgSnapResp  FrameKind = 6 // shard → frontend: encoded ShardSnapshot
+	msgLeave     FrameKind = 7 // frontend → shard: reset state for a clean rejoin
+	msgLeaveAck  FrameKind = 8 // shard → frontend: state dropped
+	msgPing      FrameKind = 9 // liveness probe
+	msgPong      FrameKind = 10
 )
+
+// ack maps a request kind to the kind acknowledging it. Ack kinds map to
+// themselves: they acknowledge nothing, and answering an ack is a peer
+// role violation callers reject before consulting this table.
+func (k FrameKind) ack() FrameKind {
+	switch k {
+	case msgHello:
+		return msgHelloAck
+	case msgIngest:
+		return msgIngestAck
+	case msgSnap:
+		return msgSnapResp
+	case msgLeave:
+		return msgLeaveAck
+	case msgPing:
+		return msgPong
+	case msgHelloAck, msgIngestAck, msgSnapResp, msgLeaveAck, msgPong:
+		return k
+	}
+	return k
+}
+
+// isRequest reports whether k is a frontend-originated request kind (as
+// opposed to a shard-originated ack).
+func (k FrameKind) isRequest() bool {
+	switch k {
+	case msgHello, msgIngest, msgSnap, msgLeave, msgPing:
+		return true
+	case msgHelloAck, msgIngestAck, msgSnapResp, msgLeaveAck, msgPong:
+		return false
+	}
+	return false
+}
 
 // Frame flags.
 const (
@@ -68,7 +110,7 @@ const (
 
 // Frame is one wire protocol message.
 type Frame struct {
-	Type    byte
+	Type    FrameKind
 	Flags   uint16
 	ReqID   uint32
 	Payload []byte
@@ -88,7 +130,7 @@ var (
 //botscope:hotpath
 func AppendFrame(dst []byte, f *Frame) []byte {
 	dst = append(dst, wireMagic...)
-	dst = append(dst, wireVersion, f.Type)
+	dst = append(dst, wireVersion, byte(f.Type))
 	dst = binary.BigEndian.AppendUint16(dst, f.Flags)
 	dst = binary.BigEndian.AppendUint32(dst, f.ReqID)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
@@ -128,7 +170,7 @@ func parseHeader(hdr []byte) (Frame, int, error) {
 		return Frame{}, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
 	}
 	return Frame{
-		Type:  hdr[5],
+		Type:  FrameKind(hdr[5]),
 		Flags: binary.BigEndian.Uint16(hdr[6:8]),
 		ReqID: binary.BigEndian.Uint32(hdr[8:12]),
 	}, int(n), nil

@@ -178,7 +178,7 @@ func TestShardBusyAckWhenQueueFull(t *testing.T) {
 	}
 
 	// Stateful frames get busy acks of the matching type.
-	for _, tc := range []struct{ req, ack byte }{
+	for _, tc := range []struct{ req, ack FrameKind }{
 		{msgIngest, msgIngestAck},
 		{msgSnap, msgSnapResp},
 		{msgLeave, msgLeaveAck},

@@ -17,6 +17,13 @@ import (
 // to launch it (paper §II-D). The Undetermined/Unknown distinction is the
 // paper's: Undetermined means multiple protocols, Unknown means traffic of
 // unknown type.
+//
+// Category values cross the cluster wire inside ingest payloads, so the
+// set is closed and botvet's wireframe analyzer keeps every switch over it
+// exhaustive: a category added for a new paper figure cannot silently fall
+// through classification code.
+//
+//botvet:wire
 type Category int
 
 // Attack categories as enumerated in the paper.
@@ -75,9 +82,10 @@ func (c Category) ConnectionOriented() bool {
 	switch c {
 	case CategoryHTTP, CategoryTCP, CategorySYN:
 		return true
-	default:
+	case CategoryUDP, CategoryUndetermined, CategoryICMP, CategoryUnknown:
 		return false
 	}
+	return false
 }
 
 // Family is a botnet malware family name, lower-cased as in the paper.

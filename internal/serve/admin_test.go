@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"botscope/internal/stream"
+)
+
+// ctxAdmin records the context the admin surface was called with.
+type ctxAdmin struct{ got context.Context }
+
+func (a *ctxAdmin) ClusterStatus() any { return map[string]any{} }
+func (a *ctxAdmin) ShardLeave(ctx context.Context, id int) error {
+	a.got = ctx
+	return nil
+}
+func (a *ctxAdmin) ShardJoin(ctx context.Context, id int) error {
+	a.got = ctx
+	return nil
+}
+
+// nullSource is the minimal live source the admin routes need to mount.
+type nullSource struct{}
+
+func (nullSource) LiveSnapshot(ctx context.Context) (stream.Snapshot, []int, error) {
+	return stream.Snapshot{}, nil, errNoIngest
+}
+func (nullSource) LiveIngest(ctx context.Context, body io.Reader) (int, int, error) {
+	return 0, 0, nil
+}
+
+type ctxKey struct{}
+
+// TestShardChangeThreadsRequestContext pins the edge contract: the admin
+// handlers hand the request's own context to the cluster, so its deadline
+// and disconnect propagate into the shard RPCs.
+func TestShardChangeThreadsRequestContext(t *testing.T) {
+	for _, verb := range []AdminVerb{AdminLeave, AdminJoin} {
+		a := &ctxAdmin{}
+		live := NewLiveServer(nullSource{}, WithClusterAdmin(a))
+
+		ctx := context.WithValue(context.Background(), ctxKey{}, "edge")
+		req := httptest.NewRequest(http.MethodPost, "/api/cluster/shards/7/"+string(verb), nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		live.ServeHTTP(rec, req)
+
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", verb, rec.Code, rec.Body.String())
+		}
+		if a.got == nil || a.got.Value(ctxKey{}) != "edge" {
+			t.Errorf("%s: admin did not receive the request's context", verb)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,10 +14,10 @@ import (
 type stubAdmin struct{}
 
 func (stubAdmin) ClusterStatus() any { return map[string]any{"shards": []int{}} }
-func (stubAdmin) ShardLeave(id int) error {
+func (stubAdmin) ShardLeave(ctx context.Context, id int) error {
 	return fmt.Errorf("shard %d not connected", id)
 }
-func (stubAdmin) ShardJoin(id int) error {
+func (stubAdmin) ShardJoin(ctx context.Context, id int) error {
 	return fmt.Errorf("shard %d has no known address", id)
 }
 

@@ -36,12 +36,28 @@ type LiveSource interface {
 }
 
 // ClusterAdmin is the optional management surface a clustered live source
-// exposes: routing status plus graceful shard leave/join.
+// exposes: routing status plus graceful shard leave/join. Leave and join
+// receive the admin request's context so its deadline and disconnect
+// propagate into the shard RPCs instead of being dropped at this boundary.
 type ClusterAdmin interface {
 	ClusterStatus() any
-	ShardLeave(id int) error
-	ShardJoin(id int) error
+	ShardLeave(ctx context.Context, id int) error
+	ShardJoin(ctx context.Context, id int) error
 }
+
+// AdminVerb names one cluster shard-management action. The set is closed:
+// botvet's wireframe analyzer keeps every switch over an AdminVerb
+// exhaustive, so a new verb cannot reach the mux without every dispatch
+// point handling it.
+//
+//botvet:wire
+type AdminVerb string
+
+// Cluster management verbs, as they appear in the route path.
+const (
+	AdminLeave AdminVerb = "leave"
+	AdminJoin  AdminVerb = "join"
+)
 
 // RateLimiter admits or refuses a request for a client key, returning a
 // retry hint when refused. internal/cluster's token bucket implements it.
@@ -126,8 +142,8 @@ func (s *LiveServer) routes() {
 	s.mux.HandleFunc("GET /healthz", handleHealthz)
 	if s.admin != nil {
 		s.mux.HandleFunc("GET /api/cluster/status", s.handleClusterStatus)
-		s.mux.HandleFunc("POST /api/cluster/shards/{id}/leave", s.handleShardChange(ClusterAdmin.ShardLeave))
-		s.mux.HandleFunc("POST /api/cluster/shards/{id}/join", s.handleShardChange(ClusterAdmin.ShardJoin))
+		s.mux.HandleFunc("POST /api/cluster/shards/{id}/leave", s.handleShardChange(AdminLeave))
+		s.mux.HandleFunc("POST /api/cluster/shards/{id}/join", s.handleShardChange(AdminJoin))
 	}
 }
 
@@ -231,15 +247,22 @@ func (s *LiveServer) handleClusterStatus(w http.ResponseWriter, _ *http.Request)
 	writeJSON(w, s.admin.ClusterStatus())
 }
 
-// handleShardChange adapts a leave/join method into a handler.
-func (s *LiveServer) handleShardChange(op func(ClusterAdmin, int) error) http.HandlerFunc {
+// handleShardChange adapts a management verb into a handler, threading the
+// request's context into the shard RPC.
+func (s *LiveServer) handleShardChange(verb AdminVerb) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid shard id %q", r.PathValue("id")))
 			return
 		}
-		if err := op(s.admin, id); err != nil {
+		switch verb {
+		case AdminLeave:
+			err = s.admin.ShardLeave(r.Context(), id)
+		case AdminJoin:
+			err = s.admin.ShardJoin(r.Context(), id)
+		}
+		if err != nil {
 			writeSourceError(w, err, http.StatusUnprocessableEntity)
 			return
 		}
@@ -458,7 +481,10 @@ func listenAndServe(ctx context.Context, addr string, h http.Handler) error {
 		return err
 	case <-ctx.Done():
 	}
-	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	// The shutdown deadline must outlive ctx — ctx's cancellation is what
+	// triggered the shutdown — so detach explicitly rather than minting a
+	// fresh background context.
+	shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)

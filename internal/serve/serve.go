@@ -450,7 +450,7 @@ func (s *Server) handleLiveCollaborations(w http.ResponseWriter, _ *http.Request
 // fails. It is the non-cancellable entry point; long-lived callers should
 // prefer ListenAndServeContext.
 func (s *Server) ListenAndServe(addr string) error {
-	return s.ListenAndServeContext(context.Background(), addr)
+	return s.ListenAndServeContext(context.Background(), addr) //botvet:ignore ctxflow audited: documented non-cancellable entry point
 }
 
 // ListenAndServeContext runs the server until the listener fails or ctx is
