@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet botvet-json botvet-sarif botvet-timed race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream load-smoke load-record report fmt fmt-check fuzz
+.PHONY: build test vet botvet botvet-json botvet-sarif botvet-timed race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream bench-trajectory load-smoke load-record snapshot-smoke report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
@@ -77,7 +77,8 @@ verify-race:
 		./internal/par/ ./internal/dataset/ ./internal/core/ ./internal/stream/ ./internal/synth/ ./internal/experiments/ ./internal/cluster/
 
 # verify is the full pre-merge gate: build, stock vet, project analyzers,
-# formatting, and the race-enabled test suite.
+# formatting, the race-enabled test suite, and the wall-clock trajectory
+# gate over the committed BENCH records.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -87,6 +88,7 @@ verify:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) test -race ./...
+	$(MAKE) bench-trajectory
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
@@ -99,10 +101,14 @@ bench-smoke:
 # bench-allocs runs the hot-kernel micro-benchmarks with -benchmem and
 # fails when any exceeds its budget in bench_thresholds.json (see
 # cmd/benchguard). This is the CI gate against allocation regressions in
-# the ARIMA fitter, the dispersion scan, and the cross-shard merge.
+# the ARIMA fitter, the dispersion scan, the cross-shard merge, and the
+# columnar store build. The second pattern segment (scale1) only filters
+# sub-benchmarks, so the flat kernel benches are unaffected by it.
+BENCH_ALLOC_PATTERN := 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$|BenchmarkMergeSnapshots$$|BenchmarkNewStore$$/scale1$$'
+BENCH_ALLOC_PKGS := ./internal/timeseries ./internal/core ./internal/cluster .
 bench-allocs:
-	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$|BenchmarkMergeSnapshots$$' \
-		-benchmem -benchtime=10x ./internal/timeseries ./internal/core ./internal/cluster > bench_allocs.out
+	$(GO) test -run=^$$ -bench $(BENCH_ALLOC_PATTERN) \
+		-benchmem -benchtime=10x $(BENCH_ALLOC_PKGS) > bench_allocs.out
 	@cat bench_allocs.out
 	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json
 	@rm -f bench_allocs.out
@@ -111,8 +117,8 @@ bench-allocs:
 # bench_thresholds.json with headroom (see benchguard -update). Run after
 # a deliberate allocation-profile change, then review the diff.
 bench-update:
-	$(GO) test -run=^$$ -bench 'BenchmarkFit$$|BenchmarkAutoFit$$|BenchmarkDispersionSeries$$|BenchmarkMergeSnapshots$$' \
-		-benchmem -benchtime=10x ./internal/timeseries ./internal/core ./internal/cluster > bench_allocs.out
+	$(GO) test -run=^$$ -bench $(BENCH_ALLOC_PATTERN) \
+		-benchmem -benchtime=10x $(BENCH_ALLOC_PKGS) > bench_allocs.out
 	@cat bench_allocs.out
 	$(GO) run ./cmd/benchguard -in bench_allocs.out -thresholds bench_thresholds.json -update
 	@rm -f bench_allocs.out
@@ -151,7 +157,28 @@ load-record:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCSV -fuzztime=$(FUZZTIME) ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeJSONL -fuzztime=$(FUZZTIME) ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeSnapshot -fuzztime=$(FUZZTIME) ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeWire -fuzztime=$(FUZZTIME) ./internal/cluster/
+
+# bench-trajectory enforces the wall-clock regression gate over the
+# committed BENCH_<n>.json sequence (see benchguard -trajectory): the two
+# newest same-scale reports are compared phase by phase, and the absolute
+# ceilings in bench_wall_budgets.json (e.g. scale-10 snapshot load ≤ 5s)
+# are checked against the newest matching report.
+bench-trajectory:
+	$(GO) run ./cmd/benchguard -trajectory . -wall-budgets bench_wall_budgets.json
+
+# snapshot-smoke proves the binary columnar snapshot codec end to end at
+# scale 0.2: write a snapshot with botgen, reload it with botreport, and
+# require the reloaded Table III to match the regenerated one byte for
+# byte. The .bscs file is left behind for the CI artifact upload.
+snapshot-smoke:
+	$(GO) run ./cmd/botgen -scale 0.2 -seed 1 -snapshot snapshot_smoke.bscs
+	$(GO) run ./cmd/botreport -snapshot snapshot_smoke.bscs -scale 0.2 -only "Table III" > snapshot_smoke_loaded.txt
+	$(GO) run ./cmd/botreport -scale 0.2 -seed 1 -only "Table III" > snapshot_smoke_generated.txt
+	cmp snapshot_smoke_loaded.txt snapshot_smoke_generated.txt
+	@rm -f snapshot_smoke_loaded.txt snapshot_smoke_generated.txt
+	@echo "snapshot-smoke: reloaded report is byte-identical"
 
 report:
 	$(GO) run ./cmd/botreport -scale 0.2

@@ -142,6 +142,17 @@ func ReadCSV(r io.Reader) ([]*Attack, error)          { return dataset.ReadCSV(r
 func WriteJSONL(w io.Writer, attacks []*Attack) error { return dataset.WriteJSONL(w, attacks) }
 func ReadJSONL(r io.Reader) ([]*Attack, error)        { return dataset.ReadJSONL(r) }
 
+// WriteSnapshot writes the store's versioned binary columnar snapshot
+// ("BSCS"): the interned string table, the attack/bot/botnet columns, and
+// the dense source-IP layer, so a workload reloads in seconds instead of
+// being regenerated and re-indexed.
+func WriteSnapshot(w io.Writer, s *Store) error { return dataset.WriteSnapshot(w, s) }
+
+// ReadSnapshot reads one BSCS snapshot and materializes the store,
+// re-validating every record, so a corrupt snapshot yields an error
+// rather than a malformed workload.
+func ReadSnapshot(r io.Reader) (*Store, error) { return dataset.ReadSnapshot(r) }
+
 // ErrStop, returned from a Decode* callback, stops decoding early without
 // error.
 var ErrStop = dataset.ErrStop

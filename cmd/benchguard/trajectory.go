@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"botscope/internal/benchio"
+)
+
+// WallBudget is an absolute wall-clock ceiling for one phase of the
+// committed BENCH trajectory at one workload scale. The phase must exist
+// in at least one report at that scale: a budget whose phase disappears
+// from the trajectory fails the gate rather than silently passing.
+type WallBudget struct {
+	Phase      string  `json:"phase"`
+	Scale      float64 `json:"scale"`
+	MaxSeconds float64 `json:"max_seconds"`
+}
+
+// benchRecord is one BENCH_<n>.json loaded from the trajectory directory.
+type benchRecord struct {
+	index int
+	path  string
+	rep   benchio.Report
+}
+
+var trajName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// runTrajectory enforces wall-clock regression budgets over the committed
+// BENCH_<n>.json sequence. Reports are grouped by (scale, GOMAXPROCS) so
+// only like-for-like runs compare, then the NEWEST pair in each group is
+// checked phase by phase: a phase whose time grew by more than
+// maxRegress-fold AND by more than minSeconds absolute is a violation.
+// Only the newest pair is enforced because older reports are accepted
+// history — they were gated when they were committed, and re-judging them
+// would turn any grandfathered slowdown into a permanently red gate. The
+// absolute floor keeps timer noise on sub-50ms phases from tripping the
+// ratio gate. Optional absolute budgets (wallBudgetPath) pin specific
+// phases — e.g. snapshot_load at scale 10 — to a hard ceiling, checked
+// against the newest matching report.
+func runTrajectory(dir string, maxRegress, minSeconds float64, wallBudgetPath string, stdout io.Writer) error {
+	records, err := loadTrajectory(dir)
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("%s: no BENCH_<n>.json reports found", dir)
+	}
+
+	var failures []string
+
+	// Group by (scale, gomaxprocs) so a scale-0.05 load run never compares
+	// against a scale-10 pipeline run, and a 4-core record never compares
+	// against a 1-core one.
+	type groupKey struct {
+		scale float64
+		procs int
+	}
+	groups := make(map[groupKey][]benchRecord)
+	var keys []groupKey
+	for _, r := range records {
+		k := groupKey{r.rep.Scale, r.rep.GOMAXPROCS}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scale != keys[j].scale {
+			return keys[i].scale < keys[j].scale
+		}
+		return keys[i].procs < keys[j].procs
+	})
+
+	checked := 0
+	for _, k := range keys {
+		group := groups[k]
+		if len(group) < 2 {
+			continue
+		}
+		prev, cur := group[len(group)-2], group[len(group)-1]
+		fmt.Fprintf(stdout, "%s -> %s (scale %g, %d proc)\n",
+			filepath.Base(prev.path), filepath.Base(cur.path), k.scale, k.procs)
+		checked++
+		failures = append(failures, comparePhases("phase", prev, cur, maxRegress, minSeconds, stdout)...)
+		failures = append(failures, compareNamed("experiment", prev.rep.Experiments, cur.rep.Experiments,
+			prev, cur, maxRegress, minSeconds, stdout)...)
+	}
+	if checked == 0 {
+		fmt.Fprintln(stdout, "no same-scale report pairs to compare yet")
+	}
+
+	if wallBudgetPath != "" {
+		wallFailures, err := checkWallBudgets(wallBudgetPath, records, stdout)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, wallFailures...)
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("wall-clock budget violations:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// loadTrajectory reads every BENCH_<n>.json in dir, sorted by index.
+func loadTrajectory(dir string) ([]benchRecord, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var records []benchRecord
+	for _, e := range entries {
+		m := trajName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rep benchio.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		records = append(records, benchRecord{index: n, path: path, rep: rep})
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].index < records[j].index })
+	return records, nil
+}
+
+// comparePhases checks cur's pipeline phases against prev's.
+func comparePhases(kind string, prev, cur benchRecord, maxRegress, minSeconds float64, stdout io.Writer) []string {
+	return compareNamed(kind, prev.rep.Phases, cur.rep.Phases, prev, cur, maxRegress, minSeconds, stdout)
+}
+
+// compareNamed flags every name present in both slices whose time grew by
+// more than maxRegress-fold and by more than minSeconds absolute.
+func compareNamed(kind string, prevPhases, curPhases []benchio.Phase, prev, cur benchRecord,
+	maxRegress, minSeconds float64, stdout io.Writer) []string {
+
+	prevSec := make(map[string]float64, len(prevPhases))
+	for _, p := range prevPhases {
+		prevSec[p.Name] = p.Seconds
+	}
+	var failures []string
+	for _, p := range curPhases {
+		before, ok := prevSec[p.Name]
+		if !ok || before <= 0 {
+			continue
+		}
+		ratio := p.Seconds / before
+		status := "ok"
+		if ratio > maxRegress && p.Seconds-before > minSeconds {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s %s: %.3fs -> %.3fs (%.2fx > %.2fx budget, %s -> %s)",
+				kind, p.Name, before, p.Seconds, ratio, maxRegress,
+				filepath.Base(prev.path), filepath.Base(cur.path)))
+		}
+		fmt.Fprintf(stdout, "  %-24s %10.3fs -> %10.3fs  %6.2fx  %s\n", p.Name, before, p.Seconds, ratio, status)
+	}
+	return failures
+}
+
+// checkWallBudgets enforces absolute per-phase ceilings against the newest
+// trajectory report matching each budget's scale.
+func checkWallBudgets(path string, records []benchRecord, stdout io.Writer) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var budgets []WallBudget
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("%s: no wall budgets defined", path)
+	}
+
+	var failures []string
+	for _, b := range budgets {
+		sec, from, found := -1.0, "", false
+		for _, r := range records { // index order: the last match wins
+			if r.rep.Scale != b.Scale {
+				continue
+			}
+			for _, p := range phasesAndExperiments(r.rep) {
+				if p.Name == b.Phase {
+					sec, from, found = p.Seconds, filepath.Base(r.path), true
+				}
+			}
+		}
+		if !found {
+			failures = append(failures, fmt.Sprintf("wall budget %s @ scale %g: no trajectory report records this phase",
+				b.Phase, b.Scale))
+			continue
+		}
+		status := "ok"
+		if sec > b.MaxSeconds {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("wall budget %s @ scale %g: %.3fs exceeds %.3fs ceiling (%s)",
+				b.Phase, b.Scale, sec, b.MaxSeconds, from))
+		}
+		fmt.Fprintf(stdout, "  %-24s scale %-6g %10.3fs (ceiling %.3fs, %s)  %s\n",
+			b.Phase, b.Scale, sec, b.MaxSeconds, from, status)
+	}
+	return failures, nil
+}
+
+// phasesAndExperiments flattens a report's timed sections for budget lookup.
+func phasesAndExperiments(rep benchio.Report) []benchio.Phase {
+	out := make([]benchio.Phase, 0, len(rep.Phases)+len(rep.Experiments))
+	out = append(out, rep.Phases...)
+	out = append(out, rep.Experiments...)
+	return out
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"botscope/internal/benchio"
+)
+
+// writeBench writes one BENCH_<n>.json into dir.
+func writeBench(t *testing.T, dir string, n int, rep benchio.Report) {
+	t.Helper()
+	rep.Schema = benchio.Schema
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "BENCH_"+itoa(n)+".json")
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+func phases(pairs ...any) []benchio.Phase {
+	var out []benchio.Phase
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, benchio.Phase{Name: pairs[i].(string), Seconds: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+func TestTrajectoryPassesOnStableTimes(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 100.0, "runall", 50.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 110.0, "runall", 45.0)})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir}, &buf); err != nil {
+		t.Fatalf("stable trajectory failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectoryFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 100.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 200.0)})
+	var buf bytes.Buffer
+	err := run([]string{"-trajectory", dir}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "generate") {
+		t.Fatalf("2x regression passed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectoryGrandfathersOldRegressions(t *testing.T) {
+	// BENCH_0 -> BENCH_1 regressed 2x, but that pair is accepted history;
+	// only the newest pair (BENCH_1 -> BENCH_2, stable) is enforced.
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 100.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 200.0)})
+	writeBench(t, dir, 2, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 195.0)})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir}, &buf); err != nil {
+		t.Fatalf("grandfathered regression failed the gate: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectoryIgnoresTimerNoise(t *testing.T) {
+	// 3x ratio but only 20ms absolute: under the -min-seconds floor.
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("store_indexes", 0.01)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("store_indexes", 0.03)})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir}, &buf); err != nil {
+		t.Fatalf("sub-floor noise failed the gate: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectorySkipsCrossScalePairs(t *testing.T) {
+	// A scale-0.05 load run must never compare against a scale-10 pipeline
+	// run even though the indexes are consecutive.
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 1.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 0.05, GOMAXPROCS: 1,
+		Phases: phases("generate", 99.0)})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir}, &buf); err != nil {
+		t.Fatalf("cross-scale pair compared: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "no same-scale report pairs") {
+		t.Fatalf("expected no comparable pairs, got:\n%s", buf.String())
+	}
+}
+
+func TestTrajectoryComparesExperiments(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases:      phases("generate", 1.0),
+		Experiments: phases("Table III", 2.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases:      phases("generate", 1.0),
+		Experiments: phases("Table III", 8.0)})
+	var buf bytes.Buffer
+	err := run([]string{"-trajectory", dir}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "Table III") {
+		t.Fatalf("experiment regression passed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectoryCustomRegressBudget(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 100.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 140.0)})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir}, &buf); err != nil {
+		t.Fatalf("1.4x failed the default 1.5x budget: %v\n%s", err, buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-trajectory", dir, "-max-regress", "1.2"}, &buf); err == nil {
+		t.Fatalf("1.4x passed a 1.2x budget:\n%s", buf.String())
+	}
+}
+
+func writeWallBudgets(t *testing.T, budgets []WallBudget) string {
+	t.Helper()
+	data, err := json.Marshal(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wall.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWallBudgetEnforced(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("snapshot_load", 3.0)})
+	wall := writeWallBudgets(t, []WallBudget{{Phase: "snapshot_load", Scale: 10, MaxSeconds: 5}})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir, "-wall-budgets", wall}, &buf); err != nil {
+		t.Fatalf("within-ceiling budget failed: %v\n%s", err, buf.String())
+	}
+
+	tight := writeWallBudgets(t, []WallBudget{{Phase: "snapshot_load", Scale: 10, MaxSeconds: 2}})
+	buf.Reset()
+	err := run([]string{"-trajectory", dir, "-wall-budgets", tight}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("over-ceiling budget passed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestWallBudgetUsesNewestReport(t *testing.T) {
+	// BENCH_0 is over the ceiling but BENCH_1 (newer, same scale) is under:
+	// the budget tracks the current state of the trajectory, not history.
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("snapshot_load", 9.0)})
+	writeBench(t, dir, 1, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("snapshot_load", 3.0)})
+	wall := writeWallBudgets(t, []WallBudget{{Phase: "snapshot_load", Scale: 10, MaxSeconds: 5}})
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", dir, "-wall-budgets", wall}, &buf); err != nil {
+		t.Fatalf("newest report is under the ceiling but the gate failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestWallBudgetFailsWhenPhaseMissing(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, 0, benchio.Report{Scale: 10, GOMAXPROCS: 1,
+		Phases: phases("generate", 1.0)})
+	wall := writeWallBudgets(t, []WallBudget{{Phase: "snapshot_load", Scale: 10, MaxSeconds: 5}})
+	var buf bytes.Buffer
+	err := run([]string{"-trajectory", dir, "-wall-budgets", wall}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no trajectory report records this phase") {
+		t.Fatalf("missing budgeted phase passed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTrajectoryEmptyDirFails(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-trajectory", t.TempDir()}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no BENCH") {
+		t.Fatalf("empty trajectory dir passed: %v", err)
+	}
+}
+
+func TestTrajectoryOnCommittedRecords(t *testing.T) {
+	// The repo's own committed trajectory must pass the default gate —
+	// this is the same invocation `make bench-trajectory` runs in CI.
+	var buf bytes.Buffer
+	if err := run([]string{"-trajectory", "../..", "-wall-budgets", "../../bench_wall_budgets.json"}, &buf); err != nil {
+		t.Fatalf("committed BENCH trajectory violates the gate: %v\n%s", err, buf.String())
+	}
+}

@@ -11,6 +11,12 @@
 //	botbench -scale 1                        # measure, write BENCH_<n>.json
 //	botbench -scale 10 -baseline BENCH_0.json
 //	botbench -scale 0.1 -out /tmp/probe.json # explicit output path
+//	botbench -scale 10 -snapshot work.bscs   # save or reload a snapshot
+//
+// With -snapshot, a missing file is written after generation (phase
+// snapshot_save); an existing file replaces the generate+newstore phases
+// with a single snapshot_load phase, so a second run records the
+// cold-start trajectory of the binary columnar codec.
 package main
 
 import (
@@ -49,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		skipAll  = fs.Bool("skip-experiments", false, "skip the per-experiment RunAll phase")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
+		snapshot = fs.String("snapshot", "", "binary columnar snapshot path: load it if present, else write it after generation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,21 +117,62 @@ func run(args []string, stdout io.Writer) error {
 		store   *botscope.Store
 		w       *experiments.Workload
 	)
-	if err := timed("generate", fmt.Sprintf("seed %d scale %g workers %d", *seed, *scale, *workers), func() error {
-		var err error
-		attacks, botnets, bots, err = botscope.GenerateRaw(botscope.GenerateConfig{
-			Seed: *seed, Scale: *scale, Workers: *workers,
-		})
-		return err
-	}); err != nil {
-		return err
+	loadSnapshot := false
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			loadSnapshot = true
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("snapshot: %w", err)
+		}
 	}
-	if err := timed("newstore", fmt.Sprintf("%d attacks, %d bots", len(attacks), len(bots)), func() error {
-		var err error
-		store, err = botscope.NewStore(attacks, botnets, bots)
-		return err
-	}); err != nil {
-		return err
+	if loadSnapshot {
+		if err := timed("snapshot_load", *snapshot, func() error {
+			f, err := os.Open(*snapshot)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			store, err = botscope.ReadSnapshot(f)
+			return err
+		}); err != nil {
+			return err
+		}
+		// Rewrite the detail now that the store exists; the closure above
+		// runs before the counts are known.
+		rep.Phases[len(rep.Phases)-1].Detail = fmt.Sprintf("%s: %d attacks, %d bots",
+			*snapshot, store.NumAttacks(), store.NumBots())
+	} else {
+		if err := timed("generate", fmt.Sprintf("seed %d scale %g workers %d", *seed, *scale, *workers), func() error {
+			var err error
+			attacks, botnets, bots, err = botscope.GenerateRaw(botscope.GenerateConfig{
+				Seed: *seed, Scale: *scale, Workers: *workers,
+			})
+			return err
+		}); err != nil {
+			return err
+		}
+		if err := timed("newstore", fmt.Sprintf("%d attacks, %d bots", len(attacks), len(bots)), func() error {
+			var err error
+			store, err = botscope.NewStore(attacks, botnets, bots)
+			return err
+		}); err != nil {
+			return err
+		}
+		if *snapshot != "" {
+			if err := timed("snapshot_save", *snapshot, func() error {
+				f, err := os.Create(*snapshot)
+				if err != nil {
+					return err
+				}
+				if err := botscope.WriteSnapshot(f, store); err != nil {
+					f.Close()
+					return err
+				}
+				return f.Close()
+			}); err != nil {
+				return err
+			}
+		}
 	}
 	if err := timed("store_indexes", "first Targets()+Families() build", func() error {
 		store.Targets()

@@ -5,9 +5,14 @@
 //
 //	botgen -scale 0.1 -seed 42 -format csv -out attacks.csv
 //	botgen -scale 1.0 -format jsonl -out attacks.jsonl   # paper-size
+//	botgen -scale 10 -snapshot work.bscs                 # binary snapshot
 //
 // The export carries the DDoSAttack schema (Table I); use -summary to
-// print the Table III entity counts of the generated workload.
+// print the Table III entity counts of the generated workload. -snapshot
+// writes the full workload (attacks, bots, botnets, indexes) as a binary
+// columnar snapshot that botbench/botreport/botserve reload in seconds
+// instead of regenerating; when -snapshot is given without -out, the
+// record export to stdout is skipped.
 package main
 
 import (
@@ -30,12 +35,13 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("botgen", flag.ContinueOnError)
 	var (
-		seed    = fs.Int64("seed", 1, "generation seed (same seed, same workload)")
-		scale   = fs.Float64("scale", 0.1, "workload scale; 1.0 = paper size (50,704 attacks)")
-		format  = fs.String("format", "csv", "output format: csv or jsonl")
-		out     = fs.String("out", "", "output file (default stdout)")
-		summary = fs.Bool("summary", false, "print Table III-style workload summary to stderr")
-		workers = fs.Int("workers", 0, "generation worker count (0 = all cores; output is identical either way)")
+		seed     = fs.Int64("seed", 1, "generation seed (same seed, same workload)")
+		scale    = fs.Float64("scale", 0.1, "workload scale; 1.0 = paper size (50,704 attacks)")
+		format   = fs.String("format", "csv", "output format: csv or jsonl")
+		out      = fs.String("out", "", "output file (default stdout)")
+		summary  = fs.Bool("summary", false, "print Table III-style workload summary to stderr")
+		workers  = fs.Int("workers", 0, "generation worker count (0 = all cores; output is identical either way)")
+		snapshot = fs.String("snapshot", "", "also write a binary columnar snapshot (.bscs) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,26 +52,36 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var w io.Writer = stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *snapshot != "" {
+		if err := writeSnapshotFile(*snapshot, store); err != nil {
+			return err
+		}
+	}
+
+	// A snapshot request without an explicit -out means the caller wants the
+	// binary artifact, not a CSV dump on stdout.
+	if *snapshot == "" || *out != "" {
+		var w io.Writer = stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+
+		switch *format {
+		case "csv":
+			err = botscope.WriteCSV(w, store.Attacks())
+		case "jsonl":
+			err = botscope.WriteJSONL(w, store.Attacks())
+		default:
+			return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
+		}
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-
-	switch *format {
-	case "csv":
-		err = botscope.WriteCSV(w, store.Attacks())
-	case "jsonl":
-		err = botscope.WriteJSONL(w, store.Attacks())
-	default:
-		return fmt.Errorf("unknown format %q (want csv or jsonl)", *format)
-	}
-	if err != nil {
-		return err
 	}
 
 	if *summary {
@@ -82,4 +98,16 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(os.Stderr, t.String())
 	}
 	return nil
+}
+
+func writeSnapshotFile(path string, store *botscope.Store) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := botscope.WriteSnapshot(f, store); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,7 @@
 //	botreport -scale 1.0 -seed 1              # full paper-size run
 //	botreport -scale 0.1 -only "Table VI"     # a single experiment
 //	botreport -in attacks.csv -scale 0.1      # analyze an exported workload
+//	botreport -snapshot work.bscs -scale 10   # reload a botgen snapshot
 //	botreport -markdown > EXPERIMENTS.md      # metric comparison as markdown
 package main
 
@@ -35,6 +36,7 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "generation seed")
 		scale    = fs.Float64("scale", 1.0, "workload scale; 1.0 = paper size")
 		in       = fs.String("in", "", "analyze this attack CSV instead of generating")
+		snapshot = fs.String("snapshot", "", "analyze this binary columnar snapshot (.bscs) instead of generating")
 		only     = fs.String("only", "", "run only the experiment with this ID (e.g. 'Figure 3')")
 		markdown = fs.Bool("markdown", false, "emit a markdown metric comparison instead of full text")
 		parallel = fs.Int("parallel", 0, "run experiments concurrently with this many workers (0 = sequential)")
@@ -48,7 +50,21 @@ func run(args []string, stdout io.Writer) error {
 		w   *experiments.Workload
 		err error
 	)
-	if *in != "" {
+	if *snapshot != "" && *in != "" {
+		return fmt.Errorf("-snapshot and -in are mutually exclusive")
+	}
+	if *snapshot != "" {
+		f, ferr := os.Open(*snapshot)
+		if ferr != nil {
+			return ferr
+		}
+		store, serr := botscope.ReadSnapshot(f)
+		_ = f.Close()
+		if serr != nil {
+			return serr
+		}
+		w = experiments.FromStore(store, *scale)
+	} else if *in != "" {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			return ferr

@@ -4,6 +4,7 @@
 //
 //	botserve -addr :8080 -scale 0.1 -seed 1
 //	botserve -addr :8080 -in attacks.csv
+//	botserve -addr :8080 -snapshot work.bscs        # reload a botgen snapshot
 //	botserve -addr :8080 -shards 4                  # sharded live tier
 //	botserve -shard-listen :9001 -shard-id 0        # one shard worker
 //	botserve -addr :8080 -join 0=host:9001,1=host:9002
@@ -83,6 +84,7 @@ func run(ctx context.Context, args []string) error {
 		seed  = fs.Int64("seed", 1, "generation seed")
 		scale = fs.Float64("scale", 0.1, "workload scale; 1.0 = paper size")
 		in    = fs.String("in", "", "serve this attack CSV instead of generating")
+		snap  = fs.String("snapshot", "", "serve this binary columnar snapshot (.bscs) instead of generating")
 
 		shards      = fs.Int("shards", 0, "boot an in-process sharded live tier with this many workers")
 		join        = fs.String("join", "", "connect to external shard workers: id=host:port,...")
@@ -107,7 +109,17 @@ func run(ctx context.Context, args []string) error {
 		store *botscope.Store
 		err   error
 	)
-	if *in != "" {
+	if *snap != "" && *in != "" {
+		return fmt.Errorf("-snapshot and -in are mutually exclusive")
+	}
+	if *snap != "" {
+		f, ferr := os.Open(*snap)
+		if ferr != nil {
+			return ferr
+		}
+		store, err = botscope.ReadSnapshot(f)
+		_ = f.Close()
+	} else if *in != "" {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
 			return ferr

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"net/netip"
+	"sync"
 
 	"botscope/internal/geo"
 )
@@ -15,16 +16,24 @@ import (
 // a hash lookup per 24-byte key becomes an array load, and per-bot
 // geolocation trigonometry is precomputed once for the store's lifetime.
 //
-// All fields are written once inside Store.botOnce and immutable after,
-// so an index is safe for concurrent readers; returned slices are shared
-// and must not be modified.
+// The id numbering and reference spans come straight from the columnar
+// core: on the record path they are derived from the reference arena, on
+// the snapshot path they are decoded from the file, so a reloaded store
+// carries the identical dense addressing without re-walking 10M+
+// references.
+//
+// All fields except the lazy reverse map are written once inside
+// Store.botOnce and immutable after, so an index is safe for concurrent
+// readers; returned slices are shared and must not be modified.
 type BotIndex struct {
-	ids  map[netip.Addr]int32 // ip -> dense id
-	ips  []netip.Addr         // id -> ip
-	recs []*Bot               // id -> Botlist record; nil when unresolved
-	pts  []geo.CachedPoint    // id -> cached location; zero when unresolved
-	refs []int32              // per-attack id spans, concatenated in attack order
-	offs map[DDoSID]int       // attack -> offset of its span in refs
+	ips  []netip.Addr      // id -> ip (shared with the columnar dense layer)
+	recs []*Bot            // id -> Botlist record; nil when unresolved
+	pts  []geo.CachedPoint // id -> cached location; zero when unresolved
+	refs []int32           // per-attack id spans, concatenated in attack order
+	offs map[DDoSID]int    // attack -> offset of its span in refs
+
+	idsOnce sync.Once
+	ids     map[netip.Addr]int32 // ip -> dense id; written once inside idsOnce.Do, immutable after
 }
 
 // BotDense returns the store's dense bot index, building it on first use.
@@ -34,34 +43,25 @@ func (s *Store) BotDense() *BotIndex {
 }
 
 func (s *Store) buildBotIndex() {
-	totalRefs := 0
-	for _, a := range s.attacks {
-		totalRefs += len(a.BotIPs)
-	}
+	c := s.Cols()
+	d := s.denseBots()
 	ix := &BotIndex{
-		ids:  make(map[netip.Addr]int32, len(s.bots)),
+		ips:  d.ips,
+		refs: d.refs,
 		offs: make(map[DDoSID]int, len(s.attacks)),
-		refs: make([]int32, 0, totalRefs),
+		recs: make([]*Bot, len(d.ips)),
+		pts:  make([]geo.CachedPoint, len(d.ips)),
 	}
-	for _, a := range s.attacks {
-		ix.offs[a.ID] = len(ix.refs)
-		for _, ip := range a.BotIPs {
-			id, ok := ix.ids[ip]
-			if !ok {
-				id = int32(len(ix.ips))
-				ix.ids[ip] = id
-				ix.ips = append(ix.ips, ip)
-			}
-			ix.refs = append(ix.refs, id)
-		}
+	for i, a := range s.attacks {
+		ix.offs[a.ID] = int(c.aOff[i])
 	}
-	ix.recs = make([]*Bot, len(ix.ips))
-	ix.pts = make([]geo.CachedPoint, len(ix.ips))
-	for i, ip := range ix.ips {
-		if b, ok := s.bots[ip]; ok {
-			ix.recs[i] = b
-			ix.pts[i] = geo.NewCachedPoint(geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+	for id, row := range d.rec {
+		if row < 0 {
+			continue
 		}
+		b := s.botList[row]
+		ix.recs[id] = b
+		ix.pts[id] = botPoint(b)
 	}
 	s.botIdx = ix
 }
@@ -69,8 +69,17 @@ func (s *Store) buildBotIndex() {
 // NumIDs returns the number of distinct bot IPs across all attacks.
 func (ix *BotIndex) NumIDs() int { return len(ix.ips) }
 
-// ID resolves an IP to its dense id.
+// ID resolves an IP to its dense id. The reverse map is built lazily on
+// first call: the hot kernels only ever go id -> record, so most stores
+// never pay for it.
 func (ix *BotIndex) ID(ip netip.Addr) (int32, bool) {
+	ix.idsOnce.Do(func() {
+		m := make(map[netip.Addr]int32, len(ix.ips))
+		for i, a := range ix.ips {
+			m[a] = int32(i)
+		}
+		ix.ids = m
+	})
 	id, ok := ix.ids[ip]
 	return id, ok
 }

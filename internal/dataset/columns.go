@@ -1,0 +1,395 @@
+package dataset
+
+// columns.go holds the struct-of-arrays columnar core behind Store. The
+// pointer-rich record API (Attack/Bot/Botnet) stays the package's public
+// face, but the canonical storage of a workload is a set of flat typed
+// arrays: every string lives once in an interned table and is referenced
+// by int32 id, every timestamp is an int64 of UTC nanoseconds, and every
+// attack's source set is a span into one shared reference arena. The
+// columns are what the binary snapshot codec (snapshot.go) serializes,
+// what Table III's distinct-entity scan walks, and what the dense
+// BotIndex is derived from.
+//
+// Columns are built on one of two paths:
+//
+//   - record path: NewStore keeps the caller's records; Columns are
+//     derived lazily (Store.Cols) the first time a columnar consumer —
+//     the summary scan, the dense index, the snapshot encoder — needs
+//     them.
+//   - snapshot path: the decoder produces Columns directly from the
+//     file, and storeFromColumns materializes the record views (arena-
+//     allocated structs whose BotIPs alias the shared reference arena)
+//     plus the standing indexes on top.
+//
+// Either way the columns are immutable once published and safe for
+// concurrent readers.
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"botscope/internal/geo"
+)
+
+// interner assigns dense int32 ids to strings in first-seen order. Id 0
+// is always the empty string so a zero-valued column cell is meaningful.
+type interner struct {
+	ids  map[string]int32
+	strs []string
+}
+
+func newInterner(sizeHint int) *interner {
+	in := &interner{
+		ids:  make(map[string]int32, sizeHint),
+		strs: make([]string, 0, sizeHint),
+	}
+	in.id("")
+	return in
+}
+
+func (in *interner) id(s string) int32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := int32(len(in.strs))
+	in.ids[s] = id
+	in.strs = append(in.strs, s)
+	return id
+}
+
+// Columns is the struct-of-arrays form of one workload. Attack columns
+// are aligned with the store's sorted attack order; bot columns with the
+// deduplicated Botlist row order; botnet columns with Botnetlist input
+// order. All slices are written once during construction (columnize or
+// the snapshot decoder) and immutable after.
+type Columns struct {
+	strs    []string     // interned string table; strs[0] == ""
+	targets []netip.Addr // distinct target IPs in first-seen attack order
+
+	// Attack columns, sorted by (Start, ID).
+	aID     []uint64 // ddos_id
+	aBotnet []uint32 // botnet_id
+	aFam    []int32  // family, interned
+	aCat    []uint8  // Category value
+	aTgt    []int32  // index into targets
+	aStart  []int64  // Start, UTC nanoseconds
+	aEnd    []int64  // End, UTC nanoseconds
+	aASN    []int64  // target ASN
+	aCC     []int32  // target country, interned
+	aCity   []int32  // target city, interned
+	aOrg    []int32  // target org, interned
+	aLat    []float64
+	aLon    []float64
+	aOff    []int64      // len n+1; attack i's sources are refIPs[aOff[i]:aOff[i+1]]
+	refIPs  []netip.Addr // all attacks' source IPs, concatenated in attack order
+
+	// Bot columns (Botlist rows, deduplicated by IP, first-occurrence
+	// order, last record wins).
+	bIP   []netip.Addr
+	bASN  []int64
+	bCC   []int32 // interned
+	bCity []int32 // interned
+	bOrg  []int32 // interned
+	bLat  []float64
+	bLon  []float64
+	bLast []int64 // LastActive, UTC nanoseconds
+
+	// Botnet columns (Botnetlist input order).
+	nID    []uint32
+	nFam   []int32 // interned
+	nHash  []int32 // interned
+	nCtrl  []netip.Addr
+	nFirst []int64
+	nLast  []int64
+
+	denseOnce sync.Once
+	dense     *denseBots // written once inside denseOnce.Do (or by the decoder); immutable after
+}
+
+// NumAttacks returns the number of attack rows.
+func (c *Columns) NumAttacks() int { return len(c.aID) }
+
+// NumBots returns the number of Botlist rows.
+func (c *Columns) NumBots() int { return len(c.bIP) }
+
+// NumBotnets returns the number of Botnetlist rows.
+func (c *Columns) NumBotnets() int { return len(c.nID) }
+
+// NumRefs returns the total number of source-IP references across all
+// attacks (the length of the shared reference arena).
+func (c *Columns) NumRefs() int { return len(c.refIPs) }
+
+// NumStrings returns the size of the interned string table.
+func (c *Columns) NumStrings() int { return len(c.strs) }
+
+// denseBots is the dense addressing layer over the reference arena:
+// every distinct source IP gets one int32 id assigned at its first
+// appearance in attack order, so the numbering is deterministic for a
+// given workload. rec maps a dense id to its Botlist row, -1 when the IP
+// never resolved in the Botlist.
+type denseBots struct {
+	ips  []netip.Addr // id -> address
+	refs []int32      // refIPs re-expressed as dense ids, same order
+	rec  []int32      // id -> bot row, or -1
+}
+
+// buildDense derives the dense layer from the reference arena. rows maps
+// a bot IP to its Botlist row.
+func buildDense(refIPs []netip.Addr, nBotsHint int, rows map[netip.Addr]int32) *denseBots {
+	ids := make(map[netip.Addr]int32, nBotsHint)
+	ips := make([]netip.Addr, 0, nBotsHint)
+	refs := make([]int32, len(refIPs))
+	for i, ip := range refIPs {
+		id, ok := ids[ip]
+		if !ok {
+			id = int32(len(ips))
+			ids[ip] = id
+			ips = append(ips, ip)
+		}
+		refs[i] = id
+	}
+	rec := make([]int32, len(ips))
+	for i, ip := range ips {
+		if row, ok := rows[ip]; ok {
+			rec[i] = row
+		} else {
+			rec[i] = -1
+		}
+	}
+	return &denseBots{ips: ips, refs: refs, rec: rec}
+}
+
+// Cols returns the store's columnar form, deriving it from the records
+// on first use. The snapshot path pre-populates it, so there the call is
+// free. The returned columns are shared and immutable.
+func (s *Store) Cols() *Columns {
+	s.colsOnce.Do(func() {
+		if s.cols == nil {
+			s.cols = s.columnize()
+		}
+	})
+	return s.cols
+}
+
+// denseBots returns the dense source-IP layer, deriving it from the
+// reference arena on first use. The snapshot path decodes it from the
+// file instead.
+func (s *Store) denseBots() *denseBots {
+	c := s.Cols()
+	c.denseOnce.Do(func() {
+		if c.dense == nil {
+			c.dense = buildDense(c.refIPs, len(s.botList), s.botRowsMap())
+		}
+	})
+	return c.dense
+}
+
+// columnize flattens the store's records into columns. Attack rows
+// follow the sorted attack order, bot rows the deduplicated Botlist
+// order, botnet rows the input order — all deterministic, so the columns
+// (and the snapshot bytes derived from them) are identical across runs.
+func (s *Store) columnize() *Columns {
+	n := len(s.attacks)
+	totalRefs := 0
+	for _, a := range s.attacks {
+		totalRefs += len(a.BotIPs)
+	}
+	c := &Columns{
+		aID:     make([]uint64, n),
+		aBotnet: make([]uint32, n),
+		aFam:    make([]int32, n),
+		aCat:    make([]uint8, n),
+		aTgt:    make([]int32, n),
+		aStart:  make([]int64, n),
+		aEnd:    make([]int64, n),
+		aASN:    make([]int64, n),
+		aCC:     make([]int32, n),
+		aCity:   make([]int32, n),
+		aOrg:    make([]int32, n),
+		aLat:    make([]float64, n),
+		aLon:    make([]float64, n),
+		aOff:    make([]int64, n+1),
+		refIPs:  make([]netip.Addr, totalRefs),
+	}
+	in := newInterner(1024 + len(s.botList)/64)
+	tgtIDs := make(map[netip.Addr]int32, len(s.byTarget))
+	c.targets = make([]netip.Addr, 0, len(s.byTarget))
+	off := int64(0)
+	for i, a := range s.attacks {
+		c.aID[i] = uint64(a.ID)
+		c.aBotnet[i] = uint32(a.BotnetID)
+		c.aFam[i] = in.id(string(a.Family))
+		c.aCat[i] = uint8(a.Category)
+		tid, ok := tgtIDs[a.TargetIP]
+		if !ok {
+			tid = int32(len(c.targets))
+			tgtIDs[a.TargetIP] = tid
+			c.targets = append(c.targets, a.TargetIP)
+		}
+		c.aTgt[i] = tid
+		c.aStart[i] = a.Start.UnixNano()
+		c.aEnd[i] = a.End.UnixNano()
+		c.aASN[i] = int64(a.TargetASN)
+		c.aCC[i] = in.id(a.TargetCountry)
+		c.aCity[i] = in.id(a.TargetCity)
+		c.aOrg[i] = in.id(a.TargetOrg)
+		c.aLat[i] = a.TargetLat
+		c.aLon[i] = a.TargetLon
+		c.aOff[i] = off
+		off += int64(copy(c.refIPs[off:], a.BotIPs))
+	}
+	c.aOff[n] = off
+
+	nb := len(s.botList)
+	c.bIP = make([]netip.Addr, nb)
+	c.bASN = make([]int64, nb)
+	c.bCC = make([]int32, nb)
+	c.bCity = make([]int32, nb)
+	c.bOrg = make([]int32, nb)
+	c.bLat = make([]float64, nb)
+	c.bLon = make([]float64, nb)
+	c.bLast = make([]int64, nb)
+	for i, b := range s.botList {
+		c.bIP[i] = b.IP
+		c.bASN[i] = int64(b.ASN)
+		c.bCC[i] = in.id(b.CountryCode)
+		c.bCity[i] = in.id(b.City)
+		c.bOrg[i] = in.id(b.Org)
+		c.bLat[i] = b.Lat
+		c.bLon[i] = b.Lon
+		c.bLast[i] = b.LastActive.UnixNano()
+	}
+
+	nn := len(s.botnetList)
+	c.nID = make([]uint32, nn)
+	c.nFam = make([]int32, nn)
+	c.nHash = make([]int32, nn)
+	c.nCtrl = make([]netip.Addr, nn)
+	c.nFirst = make([]int64, nn)
+	c.nLast = make([]int64, nn)
+	for i, b := range s.botnetList {
+		c.nID[i] = uint32(b.ID)
+		c.nFam[i] = in.id(string(b.Family))
+		c.nHash[i] = in.id(b.Hash)
+		c.nCtrl[i] = b.ControllerIP
+		c.nFirst[i] = b.FirstSeen.UnixNano()
+		c.nLast[i] = b.LastSeen.UnixNano()
+	}
+
+	c.strs = in.strs
+	return c
+}
+
+// nanoTime converts a column timestamp back to a UTC time.Time. All
+// workload times are UTC wall-clock values (the paper window), so the
+// round trip preserves instants and RFC 3339 formatting exactly.
+func nanoTime(ns int64) time.Time { return time.Unix(0, ns).UTC() }
+
+// storeFromColumns materializes the record views and standing indexes
+// over decoded columns: arena-allocated Attack/Bot/Botnet structs whose
+// strings come from the interned table and whose BotIPs alias the shared
+// reference arena. Every attack re-passes Validate, ids are re-checked
+// for uniqueness, and the (Start, ID) sort order is enforced, so a
+// hostile snapshot cannot construct a Store that violates the package's
+// invariants.
+func storeFromColumns(c *Columns) (*Store, error) {
+	nb := len(c.bIP)
+	botArena := make([]Bot, nb)
+	botList := make([]*Bot, nb)
+	for i := range botArena {
+		b := &botArena[i]
+		b.IP = c.bIP[i]
+		b.ASN = int(c.bASN[i])
+		b.CountryCode = c.strs[c.bCC[i]]
+		b.City = c.strs[c.bCity[i]]
+		b.Org = c.strs[c.bOrg[i]]
+		b.Lat = c.bLat[i]
+		b.Lon = c.bLon[i]
+		b.LastActive = nanoTime(c.bLast[i])
+		botList[i] = b
+	}
+
+	nn := len(c.nID)
+	netArena := make([]Botnet, nn)
+	botnetList := make([]*Botnet, nn)
+	botnets := make(map[BotnetID]*Botnet, nn)
+	for i := range netArena {
+		b := &netArena[i]
+		b.ID = BotnetID(c.nID[i])
+		b.Family = Family(c.strs[c.nFam[i]])
+		b.Hash = c.strs[c.nHash[i]]
+		b.ControllerIP = c.nCtrl[i]
+		b.FirstSeen = nanoTime(c.nFirst[i])
+		b.LastSeen = nanoTime(c.nLast[i])
+		if _, dup := botnets[b.ID]; dup {
+			return nil, fmt.Errorf("dataset: snapshot has duplicate botnet_id %d", b.ID)
+		}
+		botnets[b.ID] = b
+		botnetList[i] = b
+	}
+
+	n := len(c.aID)
+	arena := make([]Attack, n)
+	attacks := make([]*Attack, n)
+	seen := make(map[DDoSID]struct{}, n)
+	for i := range arena {
+		a := &arena[i]
+		a.ID = DDoSID(c.aID[i])
+		a.BotnetID = BotnetID(c.aBotnet[i])
+		a.Family = Family(c.strs[c.aFam[i]])
+		a.Category = Category(c.aCat[i])
+		a.TargetIP = c.targets[c.aTgt[i]]
+		a.Start = nanoTime(c.aStart[i])
+		a.End = nanoTime(c.aEnd[i])
+		lo, hi := c.aOff[i], c.aOff[i+1]
+		a.BotIPs = c.refIPs[lo:hi:hi]
+		a.TargetASN = int(c.aASN[i])
+		a.TargetCountry = c.strs[c.aCC[i]]
+		a.TargetCity = c.strs[c.aCity[i]]
+		a.TargetOrg = c.strs[c.aOrg[i]]
+		a.TargetLat = c.aLat[i]
+		a.TargetLon = c.aLon[i]
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: snapshot attack row %d: %w", i, err)
+		}
+		if _, dup := seen[a.ID]; dup {
+			return nil, fmt.Errorf("dataset: snapshot has duplicate ddos_id %d", a.ID)
+		}
+		seen[a.ID] = struct{}{}
+		if i > 0 {
+			if c.aStart[i] < c.aStart[i-1] ||
+				(c.aStart[i] == c.aStart[i-1] && c.aID[i] <= c.aID[i-1]) {
+				return nil, fmt.Errorf("dataset: snapshot attack rows not sorted by (start, id) at row %d", i)
+			}
+		}
+		attacks[i] = a
+	}
+
+	if d := c.dense; d != nil {
+		for id, row := range d.rec {
+			if row >= 0 && d.ips[id] != botArena[row].IP {
+				return nil, fmt.Errorf("dataset: snapshot dense id %d resolves to bot row %d with mismatched IP", id, row)
+			}
+		}
+	}
+
+	s := &Store{
+		attacks:    attacks,
+		botnetList: botnetList,
+		botnets:    botnets,
+		botList:    botList,
+		cols:       c,
+	}
+	scratch := make([]int32, n)
+	s.byFamily = buildBuckets(attacks, scratch, func(a *Attack) Family { return a.Family })
+	s.byTarget = buildBuckets(attacks, scratch, func(a *Attack) netip.Addr { return a.TargetIP })
+	s.byBotnet = buildBuckets(attacks, scratch, func(a *Attack) BotnetID { return a.BotnetID })
+	return s, nil
+}
+
+// botPoint is the shared cached-trig constructor for a Botlist row.
+func botPoint(b *Bot) geo.CachedPoint {
+	return geo.NewCachedPoint(geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+}

@@ -92,7 +92,7 @@ func (s *Store) Subset(f Filter) (*Store, error) {
 				continue
 			}
 			seenBots[key] = true
-			if b, ok := s.bots[ip]; ok {
+			if b, ok := s.Bot(ip); ok {
 				bots = append(bots, b)
 			}
 		}

@@ -1,0 +1,654 @@
+package dataset
+
+// snapshot.go is the versioned binary columnar snapshot codec ("BSCS").
+// A snapshot serializes the columnar core (columns.go) — interned string
+// table, attack/bot/botnet columns, and the dense source-IP layer — so a
+// generated workload reloads in seconds instead of being regenerated and
+// re-indexed. The encoding reuses the discipline of internal/cluster's
+// BSCW wire codec: unsigned varints everywhere, zigzag varints for
+// signed values, IEEE-754 bit patterns for floats (bit-exact round
+// trips), length-prefixed strings, tagged 0/4/16-byte addresses, and a
+// sticky-error reader whose collection counts are sanity-checked against
+// the bytes remaining so a corrupt length cannot force an arbitrary
+// allocation.
+//
+// Format versioning rules: the magic never changes; the version byte
+// bumps on any layout change (there is no in-place migration — a
+// snapshot is a cache of a reproducible workload, so "regenerate and
+// re-snapshot" is always safe); decoders reject unknown versions rather
+// than guessing. Within a version, decode is strict: every interned-id
+// and row reference is bounds-checked, attack rows must arrive sorted by
+// (Start, ID) with unique ids, dense ids must be numbered in first-
+// appearance order, and trailing bytes are an error. A decoded store
+// therefore satisfies exactly the invariants NewStore enforces.
+//
+// Layout (version 1), all sections in one stream:
+//
+//	"BSCS" | version uvarint
+//	strings:  count | (len | bytes)*
+//	targets:  count | addr*
+//	botnets:  count | id* | fam* | hash* | ctrl* | first* | last*
+//	bots:     count | ip* | asn* | cc* | city* | org* | lat* | lon* | lastΔ*
+//	attacks:  count | nRefs | id* | botnet* | fam* | cat* | tgt* |
+//	          startΔ* | endΔ* | asn* | cc* | city* | org* | lat* | lon* | span*
+//	dense:    count | ip* | ref* | rec*
+//
+// Sections are column-major: each column is one contiguous run, which
+// keeps related varints adjacent. Attack starts are deltas from the
+// previous row (the sort makes them small and non-negative), ends are
+// deltas from their own start, bot LastActive values are zigzag deltas
+// from the previous row (clustered inside the paper window).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+)
+
+// Snapshot codec constants.
+const (
+	snapMagic   = "BSCS"
+	snapVersion = 1
+)
+
+// Snapshot codec errors.
+var (
+	ErrSnapshotMagic     = errors.New("dataset: bad snapshot magic")
+	ErrSnapshotVersion   = errors.New("dataset: unsupported snapshot version")
+	ErrSnapshotTruncated = errors.New("dataset: truncated snapshot")
+	ErrSnapshotCorrupt   = errors.New("dataset: corrupt snapshot")
+)
+
+// snapWriter appends primitives to a growing buffer, mirroring the wire
+// codec's value discipline.
+type snapWriter struct {
+	buf []byte
+}
+
+func (w *snapWriter) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *snapWriter) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+func (w *snapWriter) f64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *snapWriter) str(s string) {
+	w.buf = binary.AppendUvarint(w.buf, uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// addr encodes a netip.Addr as a 1-byte tag (0 = zero value, 4, or 16)
+// plus raw bytes. Unlike attack targets, bot and controller addresses
+// may legitimately be the zero Addr, which As16 would silently turn into
+// IPv6 "::" — the 0 tag preserves it.
+func (w *snapWriter) addr(a netip.Addr) {
+	if !a.IsValid() {
+		w.buf = append(w.buf, 0)
+		return
+	}
+	if a.Is4() {
+		b := a.As4()
+		w.buf = append(w.buf, 4)
+		w.buf = append(w.buf, b[:]...)
+		return
+	}
+	b := a.As16()
+	w.buf = append(w.buf, 16)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// snapReader consumes primitives with a sticky error, so decode paths
+// read linearly and check once per section.
+type snapReader struct {
+	buf []byte
+	err error
+}
+
+func (r *snapReader) fail() {
+	if r.err == nil {
+		r.err = ErrSnapshotTruncated
+	}
+}
+
+func (r *snapReader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...)
+	}
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *snapReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *snapReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf))
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *snapReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+func (r *snapReader) addr() netip.Addr {
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	if len(r.buf) < 1 {
+		r.fail()
+		return netip.Addr{}
+	}
+	n := int(r.buf[0])
+	r.buf = r.buf[1:]
+	switch n {
+	case 0:
+		return netip.Addr{}
+	case 4, 16:
+	default:
+		r.fail()
+		return netip.Addr{}
+	}
+	if len(r.buf) < n {
+		r.fail()
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if n == 4 {
+		a = netip.AddrFrom4([4]byte(r.buf[:4]))
+	} else {
+		a = netip.AddrFrom16([16]byte(r.buf[:16]))
+	}
+	r.buf = r.buf[n:]
+	return a
+}
+
+// count reads a collection length and sanity-checks it against the bytes
+// remaining (every element costs at least minBytes somewhere later in
+// the stream), so a corrupt count cannot force an arbitrary allocation.
+func (r *snapReader) count(minBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(len(r.buf)/minBytes) {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+// strID reads an interned string id and bounds-checks it.
+func (r *snapReader) strID(nStr int) int32 {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v >= uint64(nStr) {
+		r.failf("string id %d out of range (%d interned)", v, nStr)
+		return 0
+	}
+	return int32(v)
+}
+
+// WriteSnapshot writes the store's BSCS snapshot to w.
+func WriteSnapshot(w io.Writer, s *Store) error {
+	_, err := w.Write(EncodeSnapshot(s))
+	return err
+}
+
+// ReadSnapshot reads one BSCS snapshot from r and materializes the
+// store.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// EncodeSnapshot serializes the store's columnar form (deriving it from
+// the records first if this store was never columnized).
+func EncodeSnapshot(s *Store) []byte {
+	c := s.Cols()
+	d := s.denseBots()
+	strBytes := 0
+	for _, str := range c.strs {
+		strBytes += len(str) + 2
+	}
+	hint := 64 + strBytes +
+		21*(len(c.targets)+len(d.ips)+len(c.nID)) +
+		64*len(c.bIP) + 80*len(c.aID) + 5*len(c.refIPs) + 2*len(d.rec)
+	w := &snapWriter{buf: make([]byte, 0, hint)}
+	w.buf = append(w.buf, snapMagic...)
+	w.uvarint(snapVersion)
+
+	w.uvarint(uint64(len(c.strs)))
+	for _, str := range c.strs {
+		w.str(str)
+	}
+
+	w.uvarint(uint64(len(c.targets)))
+	for _, a := range c.targets {
+		w.addr(a)
+	}
+
+	w.uvarint(uint64(len(c.nID)))
+	for _, v := range c.nID {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.nFam {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.nHash {
+		w.uvarint(uint64(v))
+	}
+	for _, a := range c.nCtrl {
+		w.addr(a)
+	}
+	for _, v := range c.nFirst {
+		w.varint(v)
+	}
+	for _, v := range c.nLast {
+		w.varint(v)
+	}
+
+	w.uvarint(uint64(len(c.bIP)))
+	for _, a := range c.bIP {
+		w.addr(a)
+	}
+	for _, v := range c.bASN {
+		w.varint(v)
+	}
+	for _, v := range c.bCC {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.bCity {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.bOrg {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.bLat {
+		w.f64(v)
+	}
+	for _, v := range c.bLon {
+		w.f64(v)
+	}
+	prev := int64(0)
+	for _, v := range c.bLast {
+		w.varint(v - prev)
+		prev = v
+	}
+
+	n := len(c.aID)
+	w.uvarint(uint64(n))
+	w.uvarint(uint64(len(c.refIPs)))
+	for _, v := range c.aID {
+		w.uvarint(v)
+	}
+	for _, v := range c.aBotnet {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.aFam {
+		w.uvarint(uint64(v))
+	}
+	w.buf = append(w.buf, c.aCat...)
+	for _, v := range c.aTgt {
+		w.uvarint(uint64(v))
+	}
+	prev = 0
+	for i, v := range c.aStart {
+		if i == 0 {
+			w.varint(v)
+		} else {
+			w.uvarint(uint64(v - prev)) // sorted: non-negative
+		}
+		prev = v
+	}
+	for i, v := range c.aEnd {
+		w.uvarint(uint64(v - c.aStart[i])) // validated: End >= Start
+	}
+	for _, v := range c.aASN {
+		w.varint(v)
+	}
+	for _, v := range c.aCC {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.aCity {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.aOrg {
+		w.uvarint(uint64(v))
+	}
+	for _, v := range c.aLat {
+		w.f64(v)
+	}
+	for _, v := range c.aLon {
+		w.f64(v)
+	}
+	for i := 0; i < n; i++ {
+		w.uvarint(uint64(c.aOff[i+1] - c.aOff[i]))
+	}
+
+	w.uvarint(uint64(len(d.ips)))
+	for _, a := range d.ips {
+		w.addr(a)
+	}
+	for _, v := range d.refs {
+		w.uvarint(uint64(v))
+	}
+	for _, row := range d.rec {
+		w.uvarint(uint64(row + 1)) // 0 = unresolved
+	}
+	return w.buf
+}
+
+// DecodeSnapshot parses a BSCS snapshot and materializes the store,
+// re-validating every record and invariant, so a corrupt or hostile
+// snapshot yields an error rather than a malformed store. This is the
+// fuzzer's entry point.
+func DecodeSnapshot(data []byte) (*Store, error) {
+	c, err := decodeColumns(data)
+	if err != nil {
+		return nil, err
+	}
+	return storeFromColumns(c)
+}
+
+func decodeColumns(data []byte) (*Columns, error) {
+	if len(data) < len(snapMagic) {
+		return nil, ErrSnapshotTruncated
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, ErrSnapshotMagic
+	}
+	r := &snapReader{buf: data[len(snapMagic):]}
+	if v := r.uvarint(); r.err == nil && v != snapVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, v, snapVersion)
+	}
+
+	c := &Columns{}
+	nStr := r.count(1)
+	c.strs = make([]string, nStr)
+	for i := range c.strs {
+		c.strs[i] = r.str()
+	}
+	if r.err == nil && (nStr == 0 || c.strs[0] != "") {
+		r.failf("string table must start with the empty string")
+	}
+
+	nTgt := r.count(1)
+	c.targets = make([]netip.Addr, nTgt)
+	for i := range c.targets {
+		c.targets[i] = r.addr()
+	}
+
+	// Botnet rows cost at least 1 byte in each of 6 columns.
+	nn := r.count(6)
+	c.nID = make([]uint32, nn)
+	for i := range c.nID {
+		v := r.uvarint()
+		if r.err == nil && v > math.MaxUint32 {
+			r.failf("botnet id %d overflows uint32", v)
+		}
+		c.nID[i] = uint32(v)
+	}
+	c.nFam = make([]int32, nn)
+	for i := range c.nFam {
+		c.nFam[i] = r.strID(nStr)
+	}
+	c.nHash = make([]int32, nn)
+	for i := range c.nHash {
+		c.nHash[i] = r.strID(nStr)
+	}
+	c.nCtrl = make([]netip.Addr, nn)
+	for i := range c.nCtrl {
+		c.nCtrl[i] = r.addr()
+	}
+	c.nFirst = make([]int64, nn)
+	for i := range c.nFirst {
+		c.nFirst[i] = r.varint()
+	}
+	c.nLast = make([]int64, nn)
+	for i := range c.nLast {
+		c.nLast[i] = r.varint()
+	}
+
+	// Bot rows cost at least 1+1+1+1+1+8+8+1 = 22 bytes across columns.
+	nb := r.count(22)
+	c.bIP = make([]netip.Addr, nb)
+	for i := range c.bIP {
+		c.bIP[i] = r.addr()
+	}
+	c.bASN = make([]int64, nb)
+	for i := range c.bASN {
+		c.bASN[i] = r.varint()
+	}
+	c.bCC = make([]int32, nb)
+	for i := range c.bCC {
+		c.bCC[i] = r.strID(nStr)
+	}
+	c.bCity = make([]int32, nb)
+	for i := range c.bCity {
+		c.bCity[i] = r.strID(nStr)
+	}
+	c.bOrg = make([]int32, nb)
+	for i := range c.bOrg {
+		c.bOrg[i] = r.strID(nStr)
+	}
+	c.bLat = make([]float64, nb)
+	for i := range c.bLat {
+		c.bLat[i] = r.f64()
+	}
+	c.bLon = make([]float64, nb)
+	for i := range c.bLon {
+		c.bLon[i] = r.f64()
+	}
+	c.bLast = make([]int64, nb)
+	prev := int64(0)
+	for i := range c.bLast {
+		prev += r.varint()
+		c.bLast[i] = prev
+	}
+
+	// Attack rows cost at least 1 byte in each of 12 varint/byte columns
+	// plus 8 each for the two float columns: 28 bytes.
+	n := r.count(28)
+	nRefs := r.count(1)
+	c.aID = make([]uint64, n)
+	for i := range c.aID {
+		c.aID[i] = r.uvarint()
+	}
+	c.aBotnet = make([]uint32, n)
+	for i := range c.aBotnet {
+		v := r.uvarint()
+		if r.err == nil && v > math.MaxUint32 {
+			r.failf("attack botnet id %d overflows uint32", v)
+		}
+		c.aBotnet[i] = uint32(v)
+	}
+	c.aFam = make([]int32, n)
+	for i := range c.aFam {
+		c.aFam[i] = r.strID(nStr)
+	}
+	if r.err == nil && len(r.buf) < n {
+		r.fail()
+	}
+	c.aCat = make([]uint8, n)
+	if r.err == nil {
+		copy(c.aCat, r.buf[:n])
+		r.buf = r.buf[n:]
+	}
+	c.aTgt = make([]int32, n)
+	for i := range c.aTgt {
+		v := r.uvarint()
+		if r.err == nil && v >= uint64(nTgt) {
+			r.failf("attack target id %d out of range (%d targets)", v, nTgt)
+		}
+		c.aTgt[i] = int32(v)
+	}
+	c.aStart = make([]int64, n)
+	prev = 0
+	for i := range c.aStart {
+		if i == 0 {
+			prev = r.varint()
+		} else {
+			prev += int64(r.uvarint())
+		}
+		c.aStart[i] = prev
+	}
+	c.aEnd = make([]int64, n)
+	for i := range c.aEnd {
+		c.aEnd[i] = c.aStart[i] + int64(r.uvarint())
+	}
+	c.aASN = make([]int64, n)
+	for i := range c.aASN {
+		c.aASN[i] = r.varint()
+	}
+	c.aCC = make([]int32, n)
+	for i := range c.aCC {
+		c.aCC[i] = r.strID(nStr)
+	}
+	c.aCity = make([]int32, n)
+	for i := range c.aCity {
+		c.aCity[i] = r.strID(nStr)
+	}
+	c.aOrg = make([]int32, n)
+	for i := range c.aOrg {
+		c.aOrg[i] = r.strID(nStr)
+	}
+	c.aLat = make([]float64, n)
+	for i := range c.aLat {
+		c.aLat[i] = r.f64()
+	}
+	c.aLon = make([]float64, n)
+	for i := range c.aLon {
+		c.aLon[i] = r.f64()
+	}
+	c.aOff = make([]int64, n+1)
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		c.aOff[i] = off
+		off += int64(r.uvarint())
+		if r.err == nil && off > int64(nRefs) {
+			r.failf("attack spans exceed declared reference count %d", nRefs)
+		}
+	}
+	c.aOff[n] = off
+	if r.err == nil && off != int64(nRefs) {
+		r.failf("attack spans cover %d references, header declares %d", off, nRefs)
+	}
+
+	nDense := r.count(2)
+	ips := make([]netip.Addr, nDense)
+	for i := range ips {
+		ips[i] = r.addr()
+	}
+	refs := make([]int32, nRefs)
+	nextID := int32(0)
+	for i := range refs {
+		v := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if v >= uint64(nDense) {
+			r.failf("dense ref %d out of range (%d ids)", v, nDense)
+			break
+		}
+		id := int32(v)
+		// Dense ids are canonical: id k must first appear only after ids
+		// 0..k-1 have, which pins the numbering to first appearance in
+		// attack order — the same numbering the record path derives.
+		if id > nextID {
+			r.failf("dense id %d appears before id %d", id, nextID)
+			break
+		}
+		if id == nextID {
+			nextID++
+		}
+		refs[i] = id
+	}
+	if r.err == nil && nextID != int32(nDense) {
+		r.failf("dense table has %d ids but only %d are referenced", nDense, nextID)
+	}
+	rec := make([]int32, nDense)
+	for i := range rec {
+		v := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if v == 0 {
+			rec[i] = -1
+			continue
+		}
+		if v-1 >= uint64(nb) {
+			r.failf("dense record row %d out of range (%d bots)", v-1, nb)
+			break
+		}
+		rec[i] = int32(v - 1)
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(r.buf))
+	}
+
+	c.refIPs = make([]netip.Addr, nRefs)
+	for i, id := range refs {
+		c.refIPs[i] = ips[id]
+	}
+	c.dense = &denseBots{ips: ips, refs: refs, rec: rec}
+	return c, nil
+}

@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"fmt"
+	"math/bits"
 	"net/netip"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -15,6 +17,10 @@ import (
 // indexes everything once; queries are then cheap. A Store is safe for
 // concurrent readers.
 //
+// The record slices and index maps are thin views: the canonical storage
+// is the columnar core (columns.go), derived lazily from records on the
+// NewStore path and decoded directly from the file on the snapshot path.
+//
 // The sorted Families/Targets views and the per-family counts are
 // memoized lazily: hot paths call them once per target or family scan,
 // and re-sorting the full key set on every call dominated the analysis
@@ -23,11 +29,19 @@ import (
 // concurrent readers is safe.
 type Store struct {
 	attacks  []*Attack // sorted by (Start, ID)
-	botnets  map[BotnetID]*Botnet
-	bots     map[netip.Addr]*Bot
 	byFamily map[Family][]*Attack
 	byTarget map[netip.Addr][]*Attack
 	byBotnet map[BotnetID][]*Attack
+
+	botnetList []*Botnet // Botnetlist input order
+	botnets    map[BotnetID]*Botnet
+	botList    []*Bot // deduplicated by IP, first-occurrence order, last record wins
+
+	botRowOnce sync.Once
+	botRows    map[netip.Addr]int32 // ip -> row in botList; NewStore fills it eagerly, the snapshot path lazily
+
+	colsOnce sync.Once
+	cols     *Columns // written once inside colsOnce.Do (or by the snapshot path); immutable after
 
 	famOnce      sync.Once
 	families     []Family      // written once inside famOnce.Do; immutable after
@@ -44,49 +58,135 @@ type FamilyCount struct {
 	Attacks int
 }
 
+// sortRec packs an attack's sort key next to its pointer so the sort
+// compares plain int64s instead of calling time.Time methods through an
+// interface, and moves 32-byte records instead of chasing pointers.
+type sortRec struct {
+	start int64
+	id    uint64
+	a     *Attack
+}
+
 // NewStore validates, sorts, and indexes a workload. Bots and botnets may
 // be nil when only attack-level analyses are needed.
 func NewStore(attacks []*Attack, botnets []*Botnet, bots []*Bot) (*Store, error) {
-	s := &Store{
-		attacks:  make([]*Attack, 0, len(attacks)),
-		botnets:  make(map[BotnetID]*Botnet, len(botnets)),
-		bots:     make(map[netip.Addr]*Bot, len(bots)),
-		byFamily: make(map[Family][]*Attack),
-		byTarget: make(map[netip.Addr][]*Attack),
-		byBotnet: make(map[BotnetID][]*Attack),
-	}
-	seen := make(map[DDoSID]bool, len(attacks))
+	recs := make([]sortRec, 0, len(attacks))
+	seen := make(map[DDoSID]struct{}, len(attacks))
 	for _, a := range attacks {
 		if err := a.Validate(); err != nil {
 			return nil, err
 		}
-		if seen[a.ID] {
+		if _, dup := seen[a.ID]; dup {
 			return nil, fmt.Errorf("dataset: duplicate ddos_id %d", a.ID)
 		}
-		seen[a.ID] = true
-		s.attacks = append(s.attacks, a)
+		seen[a.ID] = struct{}{}
+		recs = append(recs, sortRec{start: a.Start.UnixNano(), id: uint64(a.ID), a: a})
 	}
-	sort.Slice(s.attacks, func(i, j int) bool {
-		if !s.attacks[i].Start.Equal(s.attacks[j].Start) {
-			return s.attacks[i].Start.Before(s.attacks[j].Start)
+	slices.SortFunc(recs, func(x, y sortRec) int {
+		if x.start != y.start {
+			if x.start < y.start {
+				return -1
+			}
+			return 1
 		}
-		return s.attacks[i].ID < s.attacks[j].ID
+		if x.id < y.id {
+			return -1
+		}
+		return 1
 	})
-	for _, a := range s.attacks {
-		s.byFamily[a.Family] = append(s.byFamily[a.Family], a)
-		s.byTarget[a.TargetIP] = append(s.byTarget[a.TargetIP], a)
-		s.byBotnet[a.BotnetID] = append(s.byBotnet[a.BotnetID], a)
+	s := &Store{attacks: make([]*Attack, len(recs))}
+	for i := range recs {
+		s.attacks[i] = recs[i].a
 	}
+	scratch := make([]int32, len(s.attacks))
+	s.byFamily = buildBuckets(s.attacks, scratch, func(a *Attack) Family { return a.Family })
+	s.byTarget = buildBuckets(s.attacks, scratch, func(a *Attack) netip.Addr { return a.TargetIP })
+	s.byBotnet = buildBuckets(s.attacks, scratch, func(a *Attack) BotnetID { return a.BotnetID })
+
+	s.botnetList = make([]*Botnet, 0, len(botnets))
+	s.botnets = make(map[BotnetID]*Botnet, len(botnets))
 	for _, b := range botnets {
 		if _, dup := s.botnets[b.ID]; dup {
 			return nil, fmt.Errorf("dataset: duplicate botnet_id %d", b.ID)
 		}
 		s.botnets[b.ID] = b
+		s.botnetList = append(s.botnetList, b)
 	}
+
+	s.botList = make([]*Bot, 0, len(bots))
+	rows := make(map[netip.Addr]int32, len(bots))
 	for _, b := range bots {
-		s.bots[b.IP] = b
+		if row, ok := rows[b.IP]; ok {
+			s.botList[row] = b
+			continue
+		}
+		rows[b.IP] = int32(len(s.botList))
+		s.botList = append(s.botList, b)
 	}
+	s.botRows = rows
 	return s, nil
+}
+
+// buildBuckets groups the sorted attack list by key into one shared
+// arena: one counting pass assigns each key a slot in first-seen order
+// and one fill pass places every attack, so each bucket is a contiguous
+// subslice in start-time order and the whole index costs two array
+// sweeps plus one map lookup per attack instead of per-bucket append
+// growth. Buckets are three-index subslices so an append through one
+// cannot clobber its neighbor. scratch must have len(attacks) and is
+// reused across calls.
+func buildBuckets[K comparable](attacks []*Attack, scratch []int32, key func(*Attack) K) map[K][]*Attack {
+	slots := make(map[K]int32, 64)
+	var keys []K
+	var counts []int32
+	for i, a := range attacks {
+		k := key(a)
+		slot, ok := slots[k]
+		if !ok {
+			slot = int32(len(keys))
+			slots[k] = slot
+			keys = append(keys, k)
+			counts = append(counts, 0)
+		}
+		scratch[i] = slot
+		counts[slot]++
+	}
+	offs := make([]int32, len(keys)+1)
+	for i, cnt := range counts {
+		offs[i+1] = offs[i] + cnt
+	}
+	arena := make([]*Attack, len(attacks))
+	next := counts // reuse: counts[slot] becomes the next write position
+	copy(next, offs[:len(keys)])
+	for i, a := range attacks {
+		slot := scratch[i]
+		arena[next[slot]] = a
+		next[slot]++
+	}
+	m := make(map[K][]*Attack, len(keys))
+	for slot, k := range keys {
+		lo, hi := offs[slot], offs[slot+1]
+		m[k] = arena[lo:hi:hi]
+	}
+	return m
+}
+
+// botRowsMap returns the ip -> Botlist row map, building it on first use
+// on the snapshot path (NewStore produces it as a byproduct of
+// deduplication).
+func (s *Store) botRowsMap() map[netip.Addr]int32 {
+	s.botRowOnce.Do(func() {
+		if s.botRows == nil {
+			m := make(map[netip.Addr]int32, len(s.botList))
+			for i, b := range s.botList {
+				if _, ok := m[b.IP]; !ok {
+					m[b.IP] = int32(i)
+				}
+			}
+			s.botRows = m
+		}
+	})
+	return s.botRows
 }
 
 // NumAttacks returns the number of attack records.
@@ -124,15 +224,18 @@ func (s *Store) Botnet(id BotnetID) (*Botnet, bool) {
 
 // Bot resolves a bot record by IP.
 func (s *Store) Bot(ip netip.Addr) (*Bot, bool) {
-	b, ok := s.bots[ip]
-	return b, ok
+	row, ok := s.botRowsMap()[ip]
+	if !ok {
+		return nil, false
+	}
+	return s.botList[row], true
 }
 
 // NumBots returns the number of Botlist records.
-func (s *Store) NumBots() int { return len(s.bots) }
+func (s *Store) NumBots() int { return len(s.botList) }
 
 // NumBotnets returns the number of Botnetlist records.
-func (s *Store) NumBotnets() int { return len(s.botnets) }
+func (s *Store) NumBotnets() int { return len(s.botnetList) }
 
 // Families returns every family that launched at least one attack,
 // sorted. The slice is computed once and shared: callers must not modify
@@ -235,106 +338,97 @@ type SummaryCounts struct {
 	TargetASNs      int
 }
 
-// placeKey identifies a city within its country. The old scan keyed city
-// sets on the concatenation cc+"/"+city, which allocated a string per
-// visit; distinct (cc, city) pairs are exactly the distinct concatenations
-// because country codes never contain '/'.
-type placeKey struct {
-	cc   string
-	city string
+// tgtShard holds the victim-side distinct-entity sets of one contiguous
+// attack range, expressed over interned ids: countries and orgs are
+// stamp arrays indexed by string id, cities key on the packed
+// (country id, city id) pair — the columnar form of the old placeKey,
+// so a city name shared across countries still counts per country —
+// and traffic types are a bitmask over the closed Category set. Shards
+// merge by union, so the result is independent of how the attack list
+// is split.
+type tgtShard struct {
+	catBits uint32
+	cc      []bool
+	org     []bool
+	cities  map[uint64]struct{}
+	asns    map[int64]struct{}
 }
 
-// summaryShard holds the target-side distinct-entity sets of one
-// contiguous attack range; shards merge by set union, so the result is
-// independent of how the attack list is split. The attacker side no
-// longer lives here: bot identity questions are answered by the dense
-// BotIndex instead of re-deduplicating millions of references per scan.
-type summaryShard struct {
-	types     map[Category]struct{}
-	tgtCC     map[string]struct{}
-	tgtCities map[placeKey]struct{}
-	tgtOrgs   map[string]struct{}
-	tgtASNs   map[int]struct{}
-}
-
-func newSummaryShard() *summaryShard {
-	return &summaryShard{
-		types:     make(map[Category]struct{}, 8),
-		tgtCC:     make(map[string]struct{}, 64),
-		tgtCities: make(map[placeKey]struct{}, 256),
-		tgtOrgs:   make(map[string]struct{}, 256),
-		tgtASNs:   make(map[int]struct{}, 256),
+func (sh *tgtShard) merge(o *tgtShard) {
+	sh.catBits |= o.catBits
+	for i, v := range o.cc {
+		if v {
+			sh.cc[i] = true
+		}
 	}
-}
-
-func (sh *summaryShard) add(a *Attack) {
-	sh.types[a.Category] = struct{}{}
-	sh.tgtCC[a.TargetCountry] = struct{}{}
-	sh.tgtCities[placeKey{a.TargetCountry, a.TargetCity}] = struct{}{}
-	sh.tgtOrgs[a.TargetOrg] = struct{}{}
-	sh.tgtASNs[a.TargetASN] = struct{}{}
-}
-
-func (sh *summaryShard) merge(o *summaryShard) {
-	for k := range o.types {
-		sh.types[k] = struct{}{}
+	for i, v := range o.org {
+		if v {
+			sh.org[i] = true
+		}
 	}
-	for k := range o.tgtCC {
-		sh.tgtCC[k] = struct{}{}
+	for k := range o.cities {
+		sh.cities[k] = struct{}{}
 	}
-	for k := range o.tgtCities {
-		sh.tgtCities[k] = struct{}{}
-	}
-	for k := range o.tgtOrgs {
-		sh.tgtOrgs[k] = struct{}{}
-	}
-	for k := range o.tgtASNs {
-		sh.tgtASNs[k] = struct{}{}
+	for k := range o.asns {
+		sh.asns[k] = struct{}{}
 	}
 }
 
-// srcShard holds the source-side distinct-entity sets of one contiguous
-// dense-id range. Each distinct bot is visited exactly once per summary
-// (the BotIndex already deduplicated attack references), so the pass is
-// linear in distinct bots rather than in total bot references.
+// srcShard holds the attacker-side distinct-entity sets of one
+// contiguous dense-id range. Each distinct bot is visited exactly once
+// per summary (the dense layer already deduplicated attack references),
+// so the pass is linear in distinct bots rather than in total bot
+// references.
 type srcShard struct {
-	cc   map[string]struct{}
-	city map[placeKey]struct{}
-	org  map[string]struct{}
-	asn  map[int]struct{}
-}
-
-func newSrcShard() *srcShard {
-	return &srcShard{
-		cc:   make(map[string]struct{}, 64),
-		city: make(map[placeKey]struct{}, 1024),
-		org:  make(map[string]struct{}, 1024),
-		asn:  make(map[int]struct{}, 1024),
-	}
+	cc     []bool
+	org    []bool
+	cities map[uint64]struct{}
+	asns   map[int64]struct{}
 }
 
 func (sh *srcShard) merge(o *srcShard) {
-	for k := range o.cc {
-		sh.cc[k] = struct{}{}
+	for i, v := range o.cc {
+		if v {
+			sh.cc[i] = true
+		}
 	}
-	for k := range o.city {
-		sh.city[k] = struct{}{}
+	for i, v := range o.org {
+		if v {
+			sh.org[i] = true
+		}
 	}
-	for k := range o.org {
-		sh.org[k] = struct{}{}
+	for k := range o.cities {
+		sh.cities[k] = struct{}{}
 	}
-	for k := range o.asn {
-		sh.asn[k] = struct{}{}
+	for k := range o.asns {
+		sh.asns[k] = struct{}{}
 	}
+}
+
+// pairKey packs an interned (country, city) id pair into one map key.
+func pairKey(cc, city int32) uint64 {
+	return uint64(uint32(cc))<<32 | uint64(uint32(city))
+}
+
+// countStamps returns the number of set entries in a stamp array.
+func countStamps(stamps []bool) int {
+	n := 0
+	for _, v := range stamps {
+		if v {
+			n++
+		}
+	}
+	return n
 }
 
 // Summary computes Table III's counts over the full workload. Source-side
 // entity counts come from the Botlist records of the bots that appear in
 // attacks; target-side counts come from the attack records. Identity
 // counts (attacks, botnets, bot IPs, target IPs) fall out of the store's
-// standing indexes; the remaining distinct sets are sharded across
-// contiguous ranges and merged by set union, so the counts are identical
-// to a sequential pass.
+// standing indexes; the remaining distinct sets are computed over the
+// columnar form — interned-id stamp arrays instead of string-keyed hash
+// sets — sharded across contiguous ranges and merged by union, so the
+// counts are identical to a sequential pass.
 func (s *Store) Summary() SummaryCounts {
 	return s.SummaryWorkers(0)
 }
@@ -342,48 +436,74 @@ func (s *Store) Summary() SummaryCounts {
 // SummaryWorkers is Summary with an explicit worker count (0 = all
 // cores, 1 = sequential).
 func (s *Store) SummaryWorkers(workers int) SummaryCounts {
-	ix := s.BotDense()
-	tgtShards := par.ChunkMap(workers, len(s.attacks), func(lo, hi int) *summaryShard {
-		sh := newSummaryShard()
-		for _, a := range s.attacks[lo:hi] {
-			sh.add(a)
+	c := s.Cols()
+	d := s.denseBots()
+	nStr := len(c.strs)
+	tgtShards := par.ChunkMap(workers, len(c.aID), func(lo, hi int) *tgtShard {
+		sh := &tgtShard{
+			cc:     make([]bool, nStr),
+			org:    make([]bool, nStr),
+			cities: make(map[uint64]struct{}, 256),
+			asns:   make(map[int64]struct{}, 256),
+		}
+		for i := lo; i < hi; i++ {
+			sh.catBits |= 1 << c.aCat[i]
+			sh.cc[c.aCC[i]] = true
+			sh.org[c.aOrg[i]] = true
+			sh.cities[pairKey(c.aCC[i], c.aCity[i])] = struct{}{}
+			sh.asns[c.aASN[i]] = struct{}{}
 		}
 		return sh
 	})
-	srcShards := par.ChunkMap(workers, ix.NumIDs(), func(lo, hi int) *srcShard {
-		sh := newSrcShard()
-		for _, b := range ix.recs[lo:hi] {
-			if b == nil {
+	srcShards := par.ChunkMap(workers, len(d.rec), func(lo, hi int) *srcShard {
+		sh := &srcShard{
+			cc:     make([]bool, nStr),
+			org:    make([]bool, nStr),
+			cities: make(map[uint64]struct{}, 1024),
+			asns:   make(map[int64]struct{}, 1024),
+		}
+		for _, row := range d.rec[lo:hi] {
+			if row < 0 {
 				continue
 			}
-			sh.cc[b.CountryCode] = struct{}{}
-			sh.city[placeKey{b.CountryCode, b.City}] = struct{}{}
-			sh.org[b.Org] = struct{}{}
-			sh.asn[b.ASN] = struct{}{}
+			sh.cc[c.bCC[row]] = true
+			sh.org[c.bOrg[row]] = true
+			sh.cities[pairKey(c.bCC[row], c.bCity[row])] = struct{}{}
+			sh.asns[c.bASN[row]] = struct{}{}
 		}
 		return sh
 	})
-	tgt := newSummaryShard()
+	tgt := &tgtShard{
+		cc:     make([]bool, nStr),
+		org:    make([]bool, nStr),
+		cities: make(map[uint64]struct{}, 256),
+		asns:   make(map[int64]struct{}, 256),
+	}
 	for _, sh := range tgtShards {
 		tgt.merge(sh)
 	}
-	src := newSrcShard()
+	src := &srcShard{
+		cc:     make([]bool, nStr),
+		org:    make([]bool, nStr),
+		cities: make(map[uint64]struct{}, 1024),
+		asns:   make(map[int64]struct{}, 1024),
+	}
 	for _, sh := range srcShards {
 		src.merge(sh)
 	}
 	return SummaryCounts{
 		Attacks:         len(s.attacks),
 		Botnets:         len(s.byBotnet),
-		TrafficTypes:    len(tgt.types),
-		BotIPs:          ix.NumIDs(),
-		SourceCountries: len(src.cc),
-		SourceCities:    len(src.city),
-		SourceOrgs:      len(src.org),
-		SourceASNs:      len(src.asn),
+		TrafficTypes:    bits.OnesCount32(tgt.catBits),
+		BotIPs:          len(d.ips),
+		SourceCountries: countStamps(src.cc),
+		SourceCities:    len(src.cities),
+		SourceOrgs:      countStamps(src.org),
+		SourceASNs:      len(src.asns),
 		TargetIPs:       len(s.byTarget),
-		TargetCountries: len(tgt.tgtCC),
-		TargetCities:    len(tgt.tgtCities),
-		TargetOrgs:      len(tgt.tgtOrgs),
-		TargetASNs:      len(tgt.tgtASNs),
+		TargetCountries: countStamps(tgt.cc),
+		TargetCities:    len(tgt.cities),
+		TargetOrgs:      countStamps(tgt.org),
+		TargetASNs:      len(tgt.asns),
 	}
 }

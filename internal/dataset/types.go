@@ -230,6 +230,15 @@ func (a *Attack) Validate() error {
 	if a.End.Before(a.Start) {
 		return fmt.Errorf("dataset: attack %d ends (%v) before it starts (%v)", a.ID, a.End, a.Start)
 	}
+	// The columnar core stores timestamps as int64 UTC nanoseconds, so a
+	// record must sit inside the UnixNano-representable range (years
+	// 1678..2261) to survive the column and snapshot round trips exactly.
+	if y := a.Start.Year(); y < 1678 || y > 2261 {
+		return fmt.Errorf("dataset: attack %d start year %d outside representable range", a.ID, y)
+	}
+	if y := a.End.Year(); y < 1678 || y > 2261 {
+		return fmt.Errorf("dataset: attack %d end year %d outside representable range", a.ID, y)
+	}
 	if len(a.BotIPs) == 0 {
 		return fmt.Errorf("dataset: attack %d has no source IPs", a.ID)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package botscope
+
+// Under the race detector the round trip runs at a tenth of paper scale:
+// the byte-identity property is scale-independent, and the full-size run
+// would dominate the race-enabled verify gate's wall clock.
+const roundTripScale = 0.1

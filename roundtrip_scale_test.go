@@ -1,0 +1,8 @@
+//go:build !race
+
+package botscope
+
+// roundTripScale is the workload scale of the snapshot round-trip gate:
+// full paper size, per the acceptance criterion that the scale-1 runall
+// output is byte-identical across the generate and snapshot-load paths.
+const roundTripScale = 1.0

@@ -1,0 +1,96 @@
+package botscope
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"botscope/internal/experiments"
+)
+
+// TestSnapshotRoundTripRunall is the end-to-end gate on the binary
+// columnar snapshot codec: generate a workload, snapshot it, reload it,
+// and render every table, figure, and extension from both stores. The
+// outputs must be byte-identical — the same discipline as the
+// parallel-synth determinism tests, so any divergence in bot dense
+// numbering, index order, or timestamp round-tripping shows up as a byte
+// diff in a named experiment rather than a subtle metric drift.
+func TestSnapshotRoundTripRunall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale round trip skipped in -short mode")
+	}
+	scale := roundTripScale
+
+	store, err := Generate(GenerateConfig{Seed: 1, Scale: scale})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	var snap bytes.Buffer
+	if err := WriteSnapshot(&snap, store); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	reloaded, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	if got, want := reloaded.NumAttacks(), store.NumAttacks(); got != want {
+		t.Fatalf("reloaded store has %d attacks, want %d", got, want)
+	}
+	if got, want := reloaded.NumBots(), store.NumBots(); got != want {
+		t.Fatalf("reloaded store has %d bots, want %d", got, want)
+	}
+	if got, want := reloaded.NumBotnets(), store.NumBotnets(); got != want {
+		t.Fatalf("reloaded store has %d botnets, want %d", got, want)
+	}
+
+	// The raw record export must survive the round trip exactly.
+	var csvGen, csvSnap bytes.Buffer
+	if err := WriteCSV(&csvGen, store.Attacks()); err != nil {
+		t.Fatalf("WriteCSV(generated): %v", err)
+	}
+	if err := WriteCSV(&csvSnap, reloaded.Attacks()); err != nil {
+		t.Fatalf("WriteCSV(reloaded): %v", err)
+	}
+	if !bytes.Equal(csvGen.Bytes(), csvSnap.Bytes()) {
+		t.Fatalf("CSV export differs after snapshot round trip (%d vs %d bytes)",
+			csvGen.Len(), csvSnap.Len())
+	}
+
+	genOut := renderAll(t, store, scale)
+	snapOut := renderAll(t, reloaded, scale)
+	if len(genOut) == 0 {
+		t.Fatal("runall produced no output; byte-identity check is vacuous")
+	}
+	for id, want := range genOut {
+		got, ok := snapOut[id]
+		if !ok {
+			t.Errorf("%s: missing from snapshot-loaded run", id)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: output differs after snapshot round trip (%d vs %d bytes)",
+				id, len(want), len(got))
+		}
+	}
+	if len(snapOut) != len(genOut) {
+		t.Errorf("snapshot-loaded run rendered %d experiments, want %d", len(snapOut), len(genOut))
+	}
+}
+
+// renderAll runs every experiment against s and returns the rendered
+// output (text plus metrics) keyed by experiment ID.
+func renderAll(t *testing.T, s *Store, scale float64) map[string][]byte {
+	t.Helper()
+	w := experiments.FromStore(s, scale)
+	out := make(map[string][]byte)
+	for _, e := range w.All() {
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out[res.ID] = []byte(fmt.Sprintf("== %s — %s\n%s%s\n", res.ID, res.Title, res.Text, res.MetricsText()))
+	}
+	return out
+}
