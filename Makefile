@@ -169,16 +169,23 @@ bench-trajectory:
 	$(GO) run ./cmd/benchguard -trajectory . -wall-budgets bench_wall_budgets.json
 
 # snapshot-smoke proves the binary columnar snapshot codec end to end at
-# scale 0.2: write a snapshot with botgen, reload it with botreport, and
-# require the reloaded Table III to match the regenerated one byte for
-# byte. The .bscs file is left behind for the CI artifact upload.
+# scale 0.2: write a snapshot with botgen, reload it with botreport — once
+# over the default mmap path and once with BOTSCOPE_NO_MMAP=1 forcing the
+# io.ReadAll fallback — and require both reloaded Table IIIs to match the
+# regenerated one byte for byte. The stderr load line pins which path each
+# run actually took. The .bscs file is left behind for the CI artifact
+# upload.
 snapshot-smoke:
 	$(GO) run ./cmd/botgen -scale 0.2 -seed 1 -snapshot snapshot_smoke.bscs
-	$(GO) run ./cmd/botreport -snapshot snapshot_smoke.bscs -scale 0.2 -only "Table III" > snapshot_smoke_loaded.txt
+	$(GO) run ./cmd/botreport -snapshot snapshot_smoke.bscs -scale 0.2 -only "Table III" > snapshot_smoke_loaded.txt 2> snapshot_smoke_mmap.log
+	grep -q "mmap=true" snapshot_smoke_mmap.log
+	BOTSCOPE_NO_MMAP=1 $(GO) run ./cmd/botreport -snapshot snapshot_smoke.bscs -scale 0.2 -only "Table III" > snapshot_smoke_nommap.txt 2> snapshot_smoke_nommap.log
+	grep -q "mmap=false" snapshot_smoke_nommap.log
 	$(GO) run ./cmd/botreport -scale 0.2 -seed 1 -only "Table III" > snapshot_smoke_generated.txt
 	cmp snapshot_smoke_loaded.txt snapshot_smoke_generated.txt
-	@rm -f snapshot_smoke_loaded.txt snapshot_smoke_generated.txt
-	@echo "snapshot-smoke: reloaded report is byte-identical"
+	cmp snapshot_smoke_nommap.txt snapshot_smoke_generated.txt
+	@rm -f snapshot_smoke_loaded.txt snapshot_smoke_nommap.txt snapshot_smoke_generated.txt snapshot_smoke_mmap.log snapshot_smoke_nommap.log
+	@echo "snapshot-smoke: mmap and fallback reloads are byte-identical"
 
 report:
 	$(GO) run ./cmd/botreport -scale 0.2

@@ -99,6 +99,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	timed := func(name, detail string, f func() error) error {
+		// Settle inherited allocation debt before starting the clock: on
+		// multi-GB heaps a single mark cycle costs seconds and lands on
+		// whichever phase happens to allocate when the debt comes due,
+		// which made per-phase times depend on their predecessors.
+		runtime.GC()
 		start := time.Now()
 		err := f()
 		sec := time.Since(start).Seconds()
@@ -139,8 +144,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		// Rewrite the detail now that the store exists; the closure above
 		// runs before the counts are known.
-		rep.Phases[len(rep.Phases)-1].Detail = fmt.Sprintf("%s: %d attacks, %d bots",
-			*snapshot, store.NumAttacks(), store.NumBots())
+		info := store.SnapshotInfo()
+		rep.Phases[len(rep.Phases)-1].Detail = fmt.Sprintf("%s: %d attacks, %d bots (v%d, mmap=%t)",
+			*snapshot, store.NumAttacks(), store.NumBots(), info.Version, info.Mapped)
 	} else {
 		if err := timed("generate", fmt.Sprintf("seed %d scale %g workers %d", *seed, *scale, *workers), func() error {
 			var err error
@@ -202,6 +208,7 @@ func run(args []string, stdout io.Writer) error {
 		w = experiments.FromStore(store, *scale)
 		if err := timed("runall", "all tables, figures, and extensions", func() error {
 			for _, e := range w.All() {
+				runtime.GC() // per-experiment quiesce, same reason as timed; stays inside runall's total
 				start := time.Now()
 				_, err := e.Run()
 				sec := time.Since(start).Seconds()

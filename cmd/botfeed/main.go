@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 1, "generation seed when no -in file is given")
 		scale   = fs.Float64("scale", 0.1, "workload scale; 1.0 = paper size")
 		in      = fs.String("in", "", "replay this attack file instead of generating")
+		snap    = fs.String("snapshot", "", "replay this BSCS snapshot instead of generating")
 		format  = fs.String("format", "", "input format: csv or jsonl (default: by extension)")
 		speedup = fs.Float64("speedup", 0, "event-time speedup factor; 0 = max speed, 1 = real time")
 		url     = fs.String("url", "", "feed a running botserve at this base URL instead of in-process")
@@ -70,15 +71,32 @@ func run(args []string, stdout io.Writer) error {
 		return feedFromFile(*in, *format, fn)
 	}
 	if *in == "" {
-		fmt.Fprintf(os.Stderr, "generating workload (seed %d, scale %.3f)...\n", *seed, *scale)
-		store, err := botscope.Generate(botscope.GenerateConfig{Seed: *seed, Scale: *scale})
-		if err != nil {
-			return err
+		var store *botscope.Store
+		if *snap != "" {
+			f, err := os.Open(*snap)
+			if err != nil {
+				return err
+			}
+			store, err = botscope.ReadSnapshot(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "replaying snapshot %s (%d attacks)\n", *snap, store.NumAttacks())
+		} else {
+			fmt.Fprintf(os.Stderr, "generating workload (seed %d, scale %.3f)...\n", *seed, *scale)
+			var err error
+			store, err = botscope.Generate(botscope.GenerateConfig{Seed: *seed, Scale: *scale})
+			if err != nil {
+				return err
+			}
 		}
-		attacks := store.Attacks()
+		// Replay through the column cursors: each row materializes one
+		// attack record on demand, so a snapshot-loaded store streams
+		// without ever building the full record arena.
 		feed = func(fn func(*botscope.Attack) error) error {
-			for _, a := range attacks {
-				if err := fn(a); err != nil {
+			for i, n := 0, store.AttackRows(); i < n; i++ {
+				if err := fn(store.AttackRecordAt(i)); err != nil {
 					return err
 				}
 			}

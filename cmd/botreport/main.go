@@ -63,6 +63,9 @@ func run(args []string, stdout io.Writer) error {
 		if serr != nil {
 			return serr
 		}
+		info := store.SnapshotInfo()
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s (v%d, %d bytes, mmap=%t)\n",
+			*snapshot, info.Version, info.Bytes, info.Mapped)
 		w = experiments.FromStore(store, *scale)
 	} else if *in != "" {
 		f, ferr := os.Open(*in)

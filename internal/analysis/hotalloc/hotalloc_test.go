@@ -17,3 +17,12 @@ func TestBasic(t *testing.T) {
 func TestCluster(t *testing.T) {
 	atest.Run(t, "testdata/cluster", hotalloc.Analyzer, "example.com/a")
 }
+
+// TestCursor covers the column-cursor shapes from the lazy snapshot load
+// path: value-type views with column-load accessors scanned into a
+// caller-owned scratch slice stay silent, while per-row scratch
+// allocation, per-row formatting, and boxing of cursor fields are
+// reported.
+func TestCursor(t *testing.T) {
+	atest.Run(t, "testdata/cursor", hotalloc.Analyzer, "example.com/a")
+}

@@ -1,0 +1,96 @@
+// Package a seeds hotalloc with the column-cursor shapes from the lazy
+// dataset load path: value-type views whose accessors are plain column
+// loads, scanned by hot loops that must stay allocation-free. A clean
+// cursor loop reuses a caller-owned scratch slice (legal); the violating
+// variants allocate per row — fresh scratch, formatted labels, boxed
+// scalars — exactly the regressions the cursor API exists to avoid.
+package a
+
+import "fmt"
+
+type columns struct {
+	ids   []uint64
+	fams  []int32
+	lats  []float64
+	lons  []float64
+	spans []int32
+}
+
+// view is a two-word cursor over one attack row: dereferencing a field
+// is an array load, never an allocation.
+type view struct {
+	c   *columns
+	row int
+}
+
+func (v view) ID() uint64    { return v.c.ids[v.row] }
+func (v view) Family() int32 { return v.c.fams[v.row] }
+func (v view) Lat() float64  { return v.c.lats[v.row] }
+func (v view) Lon() float64  { return v.c.lons[v.row] }
+func (v view) Span() int32   { return v.c.spans[v.row] }
+
+type point struct{ lat, lon float64 }
+
+// appendRowPoints mimics the dispersion kernel: the destination is a
+// caller-owned scratch buffer, so the row scan allocates nothing.
+//
+//botscope:hotpath
+func appendRowPoints(dst []point, c *columns, rows []int32) []point {
+	for _, row := range rows {
+		v := view{c: c, row: int(row)}
+		dst = append(dst, point{lat: v.Lat(), lon: v.Lon()}) // caller owns dst: legal
+	}
+	return dst
+}
+
+// sumSpans is the minimal clean cursor scan: per-row views are stack
+// values, accessors are column loads, and the accumulator is a scalar.
+//
+//botscope:hotpath
+func sumSpans(c *columns, n int) int64 {
+	total := int64(0)
+	for i := 0; i < n; i++ {
+		v := view{c: c, row: i}
+		total += int64(v.Span())
+	}
+	return total
+}
+
+// badScratchPerRow allocates a fresh point buffer for every row instead
+// of reusing the caller's scratch — the regression the shared scratch in
+// the dispersion scan exists to avoid.
+//
+//botscope:hotpath
+func badScratchPerRow(c *columns, rows []int32) int {
+	total := 0
+	for _, row := range rows {
+		v := view{c: c, row: int(row)}
+		pts := make([]point, 1) // want `make allocates every loop iteration`
+		pts[0] = point{lat: v.Lat(), lon: v.Lon()}
+		total += len(pts)
+	}
+	return total
+}
+
+// badRowLabel formats a label from cursor fields on every row.
+//
+//botscope:hotpath
+func badRowLabel(c *columns, rows []int32) []string {
+	var out []string
+	for _, row := range rows {
+		v := view{c: c, row: int(row)}
+		out = append(out, fmt.Sprintf("attack-%d", v.ID())) // want `fmt.Sprintf allocates` `append grows out inside a hot loop`
+	}
+	return out
+}
+
+func sink(v interface{}) {}
+
+// badBoxedField boxes a cursor scalar into an interface parameter, which
+// heap-allocates the field load the cursor made free.
+//
+//botscope:hotpath
+func badBoxedField(c *columns, row int) {
+	v := view{c: c, row: row}
+	sink(v.ID()) // want `scalar uint64 boxed into interface parameter`
+}

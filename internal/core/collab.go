@@ -21,6 +21,9 @@ type Collaboration struct {
 	Attacks []*dataset.Attack
 	// Families lists the distinct families involved, sorted.
 	Families []dataset.Family
+	// rows holds the member attack rows between column-native detection
+	// and the batched record build; nil once Attacks is filled.
+	rows []int32
 }
 
 // Intra reports whether the collaboration stays inside one family
@@ -61,11 +64,13 @@ func DetectCollaborationsWindow(s *dataset.Store, startWindow, durationWindow ti
 // (Start, Target) order, making the output identical for every worker
 // count.
 func DetectCollaborationsWindowWorkers(s *dataset.Store, startWindow, durationWindow time.Duration, workers int) []*Collaboration {
-	targets := s.Targets()
-	shards := par.ChunkMap(workers, len(targets), func(lo, hi int) []*Collaboration {
+	tids := s.TargetIDs()
+	starts, durs := attackTimes(s)
+	shards := par.ChunkMap(workers, len(tids), func(lo, hi int) []*Collaboration {
+		d := &collabDetector{s: s, starts: starts, durs: durs, startWindow: startWindow, durationWindow: durationWindow}
 		var shard []*Collaboration
-		for _, ip := range targets[lo:hi] {
-			shard = detectTargetWindows(shard, ip.String(), s.ByTarget(ip), startWindow, durationWindow)
+		for _, tid := range tids[lo:hi] {
+			shard = d.target(shard, s.TargetAddr(tid).String(), s.TargetRows(tid))
 		}
 		return shard
 	})
@@ -73,6 +78,7 @@ func DetectCollaborationsWindowWorkers(s *dataset.Store, startWindow, durationWi
 	for _, shard := range shards {
 		out = append(out, shard...)
 	}
+	materializeCollabAttacks(s, out)
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
 			return out[i].Start.Before(out[j].Start)
@@ -82,23 +88,187 @@ func DetectCollaborationsWindowWorkers(s *dataset.Store, startWindow, durationWi
 	return out
 }
 
-// detectTargetWindows appends the qualifying collaborations of one
-// target's chronologically ordered attack list.
-func detectTargetWindows(out []*Collaboration, target string, attacks []*dataset.Attack, startWindow, durationWindow time.Duration) []*Collaboration {
+// materializeCollabAttacks fills every detected collaboration's member
+// records in one batch. Member rows across collaborations never overlap
+// (a row belongs to one target and one start window), so the batch visits
+// them in ascending row order — the column and reference-arena reads
+// sweep forward instead of hopping per collaboration, and the record
+// arenas are allocated once for the whole detection.
+func materializeCollabAttacks(s *dataset.Store, out []*Collaboration) {
+	total := 0
+	for _, c := range out {
+		total += len(c.rows)
+	}
+	if total == 0 {
+		return
+	}
+	rows := make([]int32, 0, total)
+	slotC := make([]*Collaboration, 0, total)
+	slotI := make([]int, 0, total)
+	for _, c := range out {
+		c.Attacks = make([]*dataset.Attack, len(c.rows))
+		for i, row := range c.rows {
+			rows = append(rows, row)
+			slotC = append(slotC, c)
+			slotI = append(slotI, i)
+		}
+		c.rows = nil
+	}
+	ord := make([]int, total)
+	for k := range ord {
+		ord[k] = k
+	}
+	sort.Slice(ord, func(a, b int) bool { return rows[ord[a]] < rows[ord[b]] })
+	sortedRows := make([]int32, total)
+	for k, o := range ord {
+		sortedRows[k] = rows[o]
+	}
+	attacks := s.AttackRecords(sortedRows)
+	for k, o := range ord {
+		slotC[o].Attacks[slotI[o]] = attacks[k]
+	}
+	for _, c := range out {
+		start := c.Attacks[0].Start
+		for _, a := range c.Attacks[1:] {
+			if a.Start.Before(start) {
+				start = a.Start
+			}
+		}
+		c.Start = start
+	}
+}
+
+// attackTimes extracts every attack's start and duration into dense
+// row-indexed arrays with one sequential pass over the start/end columns.
+// The detector's window scan and duration sort both sit on the hot path,
+// and an array load per probe beats reconstructing a column view per
+// probe by a wide margin on large stores.
+func attackTimes(s *dataset.Store) (starts, durs []int64) {
+	n := s.NumAttacks()
+	starts = make([]int64, n)
+	durs = make([]int64, n)
+	for i := 0; i < n; i++ {
+		v := s.AttackAt(i)
+		starts[i] = v.StartNano()
+		durs[i] = int64(v.Duration())
+	}
+	return starts, durs
+}
+
+// collabDetector carries the shared read-only detection inputs plus one
+// shard-local sort scratch, so per-group qualification allocates only for
+// groups that actually qualify.
+type collabDetector struct {
+	s              *dataset.Store
+	starts         []int64 // per-row attack starts, UTC nanoseconds
+	durs           []int64 // per-row attack durations, nanoseconds
+	startWindow    time.Duration
+	durationWindow time.Duration
+	scratch        []int32            // reused duration-sort buffer; never escapes a qualify call
+	botnets        []dataset.BotnetID // reused distinct-botnet scratch
+	fams           []dataset.Family   // reused distinct-family scratch
+}
+
+// target appends the qualifying collaborations of one target's
+// chronologically ordered attack rows. Grouping and qualification both
+// run on the columns; only the members of a qualifying subset
+// materialize attack records.
+func (d *collabDetector) target(out []*Collaboration, target string, rows []int32) []*Collaboration {
+	starts, window := d.starts, int64(d.startWindow)
 	i := 0
-	for i < len(attacks) {
+	for i < len(rows) {
+		si := starts[rows[i]]
 		j := i + 1
-		for j < len(attacks) && attacks[j].Start.Sub(attacks[i].Start) < startWindow {
+		for j < len(rows) && starts[rows[j]]-si < window {
 			j++
 		}
-		if group := attacks[i:j]; len(group) >= 2 {
-			if c := QualifyCollaboration(target, group, durationWindow); c != nil {
+		if j-i >= 2 {
+			if c := d.qualify(target, rows[i:j]); c != nil {
 				out = append(out, c)
 			}
 		}
 		i = j
 	}
 	return out
+}
+
+// qualify applies QualifyCollaboration's criteria to one start-window
+// group of attack rows using column loads only, so candidate groups that
+// fail the botnet-distinctness or duration-window tests never build a
+// record. The duration sort sees the same initial order and the same
+// comparator outcomes as the record-face qualifier (durs holds the same
+// nanosecond difference Attack.Duration returns), so the detected subset
+// — and the member order inside it — is identical.
+func (d *collabDetector) qualify(target string, group []int32) *Collaboration {
+	s, durs := d.s, d.durs
+	sorted := append(d.scratch[:0], group...)
+	d.scratch = sorted
+	// Candidate groups are almost always tiny. sort.Slice hands any range
+	// of <= 12 elements straight to its insertion sort, so the inlined
+	// insertion sort below produces the exact same permutation while
+	// skipping the func-value indirection and the interface conversion.
+	if len(sorted) <= 12 {
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && durs[sorted[j]] < durs[sorted[j-1]]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+	} else {
+		sort.Slice(sorted, func(i, j int) bool { return durs[sorted[i]] < durs[sorted[j]] })
+	}
+	window := int64(d.durationWindow)
+	bestLo, bestHi := 0, 0
+	lo := 0
+	for hi := range sorted {
+		for durs[sorted[hi]]-durs[sorted[lo]] > window {
+			lo++
+		}
+		if hi-lo > bestHi-bestLo {
+			bestLo, bestHi = lo, hi
+		}
+	}
+	subset := sorted[bestLo : bestHi+1]
+	if len(subset) < 2 {
+		return nil
+	}
+	// Distinctness over a handful of members: linear-scan dedup into
+	// reused scratch slices. First-appearance order followed by the same
+	// final sort keeps famList identical to the map-based qualifier.
+	botnets, fams := d.botnets[:0], d.fams[:0]
+	for _, row := range subset {
+		v := s.AttackAt(int(row))
+		if b := v.BotnetID(); !containsBotnet(botnets, b) {
+			botnets = append(botnets, b)
+		}
+		if f := v.Family(); !containsFamily(fams, f) {
+			fams = append(fams, f)
+		}
+	}
+	d.botnets, d.fams = botnets, fams
+	if len(botnets) < 2 {
+		return nil
+	}
+	famList := append([]dataset.Family(nil), fams...)
+	sort.Slice(famList, func(i, j int) bool { return famList[i] < famList[j] })
+	return &Collaboration{Target: target, rows: append([]int32(nil), subset...), Families: famList}
+}
+
+func containsBotnet(list []dataset.BotnetID, b dataset.BotnetID) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFamily(list []dataset.Family, f dataset.Family) bool {
+	for _, x := range list {
+		if x == f {
+			return true
+		}
+	}
+	return false
 }
 
 // QualifyCollaboration checks the botnet-distinctness and duration-window

@@ -38,29 +38,35 @@ func DetectChains(s *dataset.Store, minLen int) []*Chain {
 		minLen = 2
 	}
 	var out []*Chain
-	for _, ip := range s.Targets() {
-		attacks := s.ByTarget(ip)
-		var cur []*dataset.Attack
+	for _, tid := range s.TargetIDs() {
+		target := s.TargetAddr(tid).String()
+		var cur []int32
 		var gaps []float64
 		flush := func() {
 			if len(cur) >= minLen {
-				out = append(out, buildChain(ip.String(), cur, gaps))
+				// Only qualifying chains materialize attack records; the
+				// scan itself stays on the columns.
+				attacks := make([]*dataset.Attack, len(cur))
+				for k, row := range cur {
+					attacks[k] = s.AttackRecordAt(int(row))
+				}
+				out = append(out, buildChain(target, attacks, gaps))
 			}
 			cur, gaps = nil, nil
 		}
-		for _, a := range attacks {
+		for _, row := range s.TargetRows(tid) {
 			if len(cur) == 0 {
-				cur = []*dataset.Attack{a}
+				cur = []int32{row}
 				continue
 			}
-			prev := cur[len(cur)-1]
-			gap := a.Start.Sub(prev.End)
+			prevEnd := s.AttackAt(int(cur[len(cur)-1])).EndNano()
+			gap := time.Duration(s.AttackAt(int(row)).StartNano() - prevEnd)
 			if gap >= -ConsecutiveMargin && gap <= ConsecutiveMargin {
-				cur = append(cur, a)
+				cur = append(cur, row)
 				gaps = append(gaps, gap.Seconds())
 			} else {
 				flush()
-				cur = []*dataset.Attack{a}
+				cur = []int32{row}
 			}
 		}
 		flush()

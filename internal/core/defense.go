@@ -77,8 +77,8 @@ func (b *Blacklist) Truncate(maxSize int) *Blacklist {
 // scan allocated for every distinct bot. The ranking comparator is total
 // (ties break on IP), so the entries are identical to the map-based build.
 func BuildBlacklist(s *dataset.Store, from, to time.Time, maxSize int) (*Blacklist, error) {
-	attacks := s.Attacks()
-	if len(attacks) == 0 {
+	n := s.AttackRows()
+	if n == 0 {
 		return nil, fmt.Errorf("core: empty workload")
 	}
 	ix := s.BotDense()
@@ -90,16 +90,17 @@ func BuildBlacklist(s *dataset.Store, from, to time.Time, maxSize int) (*Blackli
 	famWords := (len(fams) + 63) / 64
 	counts := make([]int32, ix.NumIDs())
 	famSets := make([]uint64, ix.NumIDs()*famWords)
-	for _, a := range attacks {
-		if !from.IsZero() && a.Start.Before(from) {
+	for i := 0; i < n; i++ {
+		v := s.AttackAt(i)
+		if !from.IsZero() && v.Start().Before(from) {
 			continue
 		}
-		if !to.IsZero() && !a.Start.Before(to) {
+		if !to.IsZero() && !v.Start().Before(to) {
 			continue
 		}
-		bit := famBit[a.Family]
+		bit := famBit[v.Family()]
 		word, mask := bit/64, uint64(1)<<(bit%64)
-		for _, id := range ix.Refs(a) {
+		for _, id := range ix.RefsRow(i) {
 			counts[id]++
 			famSets[int(id)*famWords+word] |= mask
 		}
@@ -182,23 +183,25 @@ func EvaluateBlacklist(s *dataset.Store, bl *Blacklist, from, to time.Time) (Bla
 		blocked int
 	)
 	perAttack := make([]float64, 0, s.NumAttacks())
-	for _, a := range s.Attacks() {
-		if !from.IsZero() && a.Start.Before(from) {
+	for i, n := 0, s.AttackRows(); i < n; i++ {
+		v := s.AttackAt(i)
+		if !from.IsZero() && v.Start().Before(from) {
 			continue
 		}
-		if !to.IsZero() && !a.Start.Before(to) {
+		if !to.IsZero() && !v.Start().Before(to) {
 			continue
 		}
 		out.Attacks++
 		hit := 0
-		for _, id := range ix.Refs(a) {
+		span := ix.RefsRow(i)
+		for _, id := range span {
 			refs++
 			if listed[id] {
 				blocked++
 				hit++
 			}
 		}
-		frac := float64(hit) / float64(len(a.BotIPs))
+		frac := float64(hit) / float64(len(span))
 		perAttack = append(perAttack, frac)
 		if frac >= 0.5 {
 			out.AttacksBlunted++
@@ -237,19 +240,19 @@ func PlanMitigation(s *dataset.Store, minAttacks int) []MitigationWindow {
 		minAttacks = 3
 	}
 	var out []MitigationWindow
-	for _, ip := range s.Targets() {
-		attacks := s.ByTarget(ip)
-		if len(attacks) < minAttacks {
+	for _, tid := range s.TargetIDs() {
+		rows := s.TargetRows(tid)
+		if len(rows) < minAttacks {
 			continue
 		}
-		gaps := Intervals(attacks)
+		gaps := rowIntervals(s, rows)
 		sorted := append([]float64(nil), gaps...)
 		sort.Float64s(sorted)
 		q := func(p float64) float64 {
 			idx := int(p * float64(len(sorted)-1))
 			return sorted[idx]
 		}
-		last := attacks[len(attacks)-1]
+		last := s.AttackAt(int(rows[len(rows)-1]))
 		median := q(0.5)
 		// Pad the window by 10% of the median gap (at least 5 minutes) so
 		// perfectly periodic targets still get a usable alert interval.
@@ -258,11 +261,11 @@ func PlanMitigation(s *dataset.Store, minAttacks int) []MitigationWindow {
 			pad = 5 * time.Minute
 		}
 		out = append(out, MitigationWindow{
-			Target:       ip.String(),
-			LastSeen:     last.End,
-			ExpectedNext: last.Start.Add(time.Duration(median * float64(time.Second))),
-			ArmFrom:      last.Start.Add(time.Duration(q(0.25)*float64(time.Second)) - pad),
-			ArmUntil:     last.Start.Add(time.Duration(q(0.95)*float64(time.Second)) + pad),
+			Target:       s.TargetAddr(tid).String(),
+			LastSeen:     last.End(),
+			ExpectedNext: last.Start().Add(time.Duration(median * float64(time.Second))),
+			ArmFrom:      last.Start().Add(time.Duration(q(0.25)*float64(time.Second)) - pad),
+			ArmUntil:     last.Start().Add(time.Duration(q(0.95)*float64(time.Second)) + pad),
 			HistoryGaps:  len(gaps),
 		})
 	}

@@ -19,12 +19,12 @@ import (
 // sharded over contiguous attack ranges; integer bucket sums are
 // order-independent, so the result matches a sequential pass.
 func HourOfDayCounts(s *dataset.Store) [24]int {
-	attacks := s.Attacks()
+	n := s.AttackRows()
 	var out [24]int
-	for _, shard := range par.ChunkMap(0, len(attacks), func(lo, hi int) [24]int {
+	for _, shard := range par.ChunkMap(0, n, func(lo, hi int) [24]int {
 		var c [24]int
-		for _, a := range attacks[lo:hi] {
-			c[a.Start.UTC().Hour()]++
+		for i := lo; i < hi; i++ {
+			c[s.AttackAt(i).Start().Hour()]++
 		}
 		return c
 	}) {
@@ -38,12 +38,12 @@ func HourOfDayCounts(s *dataset.Store) [24]int {
 // DayOfWeekCounts buckets attack starts into 7 weekdays (Sunday = 0),
 // sharded the same way as HourOfDayCounts.
 func DayOfWeekCounts(s *dataset.Store) [7]int {
-	attacks := s.Attacks()
+	n := s.AttackRows()
 	var out [7]int
-	for _, shard := range par.ChunkMap(0, len(attacks), func(lo, hi int) [7]int {
+	for _, shard := range par.ChunkMap(0, n, func(lo, hi int) [7]int {
 		var c [7]int
-		for _, a := range attacks[lo:hi] {
-			c[int(a.Start.UTC().Weekday())]++
+		for i := lo; i < hi; i++ {
+			c[int(s.AttackAt(i).Start().Weekday())]++
 		}
 		return c
 	}) {

@@ -12,20 +12,20 @@ import (
 // Durations returns every attack duration in seconds, in start-time order
 // (the Fig 6 series).
 func Durations(s *dataset.Store) []float64 {
-	attacks := s.Attacks()
-	out := make([]float64, 0, len(attacks))
-	for _, a := range attacks {
-		out = append(out, a.Duration().Seconds())
+	n := s.AttackRows()
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.AttackAt(i).Duration().Seconds())
 	}
 	return out
 }
 
 // FamilyDurations returns one family's durations in start-time order.
 func FamilyDurations(s *dataset.Store, f dataset.Family) []float64 {
-	attacks := s.ByFamily(f)
-	out := make([]float64, 0, len(attacks))
-	for _, a := range attacks {
-		out = append(out, a.Duration().Seconds())
+	rows := s.RowsByFamily(f)
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, s.AttackAt(int(row)).Duration().Seconds())
 	}
 	return out
 }
@@ -137,10 +137,11 @@ type DurationPoint struct {
 
 // DurationSeries returns the full (start, duration) scatter of Fig 6.
 func DurationSeries(s *dataset.Store) []DurationPoint {
-	attacks := s.Attacks()
-	out := make([]DurationPoint, 0, len(attacks))
-	for _, a := range attacks {
-		out = append(out, DurationPoint{Start: a.Start, Family: a.Family, Duration: a.Duration().Seconds()})
+	n := s.AttackRows()
+	out := make([]DurationPoint, 0, n)
+	for i := 0; i < n; i++ {
+		v := s.AttackAt(i)
+		out = append(out, DurationPoint{Start: v.Start(), Family: v.Family(), Duration: v.Duration().Seconds()})
 	}
 	return out
 }

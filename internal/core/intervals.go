@@ -31,13 +31,43 @@ func Intervals(attacks []*dataset.Attack) []float64 {
 // AllIntervals returns the gaps between consecutive attacks across all
 // families (the "all attacks" curve of Fig 3).
 func AllIntervals(s *dataset.Store) []float64 {
-	return Intervals(s.Attacks())
+	n := s.AttackRows()
+	if n < 2 {
+		return nil
+	}
+	out := make([]float64, 0, n-1)
+	prev := s.AttackAt(0).StartNano()
+	for i := 1; i < n; i++ {
+		cur := s.AttackAt(i).StartNano()
+		out = append(out, time.Duration(cur-prev).Seconds())
+		prev = cur
+	}
+	return out
 }
 
 // FamilyIntervals returns the per-family gap series (the family curves of
 // Figs 3 and 5).
 func FamilyIntervals(s *dataset.Store, f dataset.Family) []float64 {
-	return Intervals(s.ByFamily(f))
+	return rowIntervals(s, s.RowsByFamily(f))
+}
+
+// rowIntervals is Intervals over attack rows: the gaps in seconds
+// between consecutive starts of a chronologically ordered row list,
+// computed from the start column. time.Duration seconds-conversion
+// matches Time.Sub exactly, so the series is bit-identical to the
+// record-based one.
+func rowIntervals(s *dataset.Store, rows []int32) []float64 {
+	if len(rows) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(rows)-1)
+	prev := s.AttackAt(int(rows[0])).StartNano()
+	for _, row := range rows[1:] {
+		cur := s.AttackAt(int(row)).StartNano()
+		out = append(out, time.Duration(cur-prev).Seconds())
+		prev = cur
+	}
+	return out
 }
 
 // IntervalStats carries the headline interval numbers the paper reports
@@ -144,18 +174,19 @@ type ConcurrencyStats struct {
 // and 956 multi-family concurrent events and the Dirtjumper+Blackenergy /
 // Dirtjumper+Pandora pair counts.
 func AnalyzeConcurrency(s *dataset.Store) ConcurrencyStats {
-	attacks := s.Attacks()
+	n := s.AttackRows()
 	out := ConcurrencyStats{PairCounts: make(map[string]int)}
 	i := 0
-	for i < len(attacks) {
+	for i < n {
+		si := s.AttackAt(i).StartNano()
 		j := i + 1
-		for j < len(attacks) && attacks[j].Start.Sub(attacks[i].Start) < SimultaneousThreshold {
+		for j < n && time.Duration(s.AttackAt(j).StartNano()-si) < SimultaneousThreshold {
 			j++
 		}
 		if j-i >= 2 {
 			fams := make(map[dataset.Family]bool)
-			for _, a := range attacks[i:j] {
-				fams[a.Family] = true
+			for k := i; k < j; k++ {
+				fams[s.AttackAt(k).Family()] = true
 			}
 			if len(fams) == 1 {
 				out.SingleFamilyGroups++
@@ -187,15 +218,15 @@ func TargetIntervals(s *dataset.Store, minAttacks int) map[string][]float64 {
 	if minAttacks < 2 {
 		minAttacks = 2
 	}
-	targets := s.Targets()
-	shards := par.ChunkMap(0, len(targets), func(lo, hi int) map[string][]float64 {
+	tids := s.TargetIDs()
+	shards := par.ChunkMap(0, len(tids), func(lo, hi int) map[string][]float64 {
 		m := make(map[string][]float64)
-		for _, ip := range targets[lo:hi] {
-			attacks := s.ByTarget(ip)
-			if len(attacks) < minAttacks {
+		for _, tid := range tids[lo:hi] {
+			rows := s.TargetRows(tid)
+			if len(rows) < minAttacks {
 				continue
 			}
-			m[ip.String()] = Intervals(attacks)
+			m[s.TargetAddr(tid).String()] = rowIntervals(s, rows)
 		}
 		return m
 	})

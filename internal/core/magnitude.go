@@ -17,20 +17,20 @@ import (
 
 // Magnitudes returns every attack's magnitude in start-time order.
 func Magnitudes(s *dataset.Store) []float64 {
-	attacks := s.Attacks()
-	out := make([]float64, 0, len(attacks))
-	for _, a := range attacks {
-		out = append(out, float64(a.Magnitude()))
+	n := s.AttackRows()
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(s.AttackAt(i).Magnitude()))
 	}
 	return out
 }
 
 // FamilyMagnitudes returns one family's magnitudes in start-time order.
 func FamilyMagnitudes(s *dataset.Store, f dataset.Family) []float64 {
-	attacks := s.ByFamily(f)
-	out := make([]float64, 0, len(attacks))
-	for _, a := range attacks {
-		out = append(out, float64(a.Magnitude()))
+	rows := s.RowsByFamily(f)
+	out := make([]float64, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, float64(s.AttackAt(int(row)).Magnitude()))
 	}
 	return out
 }
@@ -49,15 +49,16 @@ type MagnitudeProfile struct {
 // ProfileMagnitudes builds a family's magnitude profile. The error is
 // non-nil for a family without attacks.
 func ProfileMagnitudes(s *dataset.Store, f dataset.Family) (MagnitudeProfile, error) {
-	attacks := s.ByFamily(f)
-	if len(attacks) == 0 {
+	rows := s.RowsByFamily(f)
+	if len(rows) == 0 {
 		return MagnitudeProfile{}, fmt.Errorf("core: family %s has no attacks", f)
 	}
-	mags := make([]float64, len(attacks))
-	durs := make([]float64, len(attacks))
-	for i, a := range attacks {
-		mags[i] = float64(a.Magnitude())
-		durs[i] = a.Duration().Seconds()
+	mags := make([]float64, len(rows))
+	durs := make([]float64, len(rows))
+	for i, row := range rows {
+		v := s.AttackAt(int(row))
+		mags[i] = float64(v.Magnitude())
+		durs[i] = v.Duration().Seconds()
 	}
 	prof := MagnitudeProfile{Family: f, Summary: stats.Summarize(mags)}
 	if corr, err := stats.PearsonCorrelation(mags, durs); err == nil {
@@ -77,18 +78,19 @@ type LoadPoint struct {
 // attacks at every start/end boundary, plus the peak and the time-weighted
 // average. The error is non-nil for an empty workload.
 func ConcurrentLoad(s *dataset.Store) ([]LoadPoint, LoadStats, error) {
-	attacks := s.Attacks()
-	if len(attacks) == 0 {
+	n := s.AttackRows()
+	if n == 0 {
 		return nil, LoadStats{}, fmt.Errorf("core: empty workload")
 	}
 	type boundary struct {
 		t     time.Time
 		delta int
 	}
-	events := make([]boundary, 0, 2*len(attacks))
-	for _, a := range attacks {
-		events = append(events, boundary{t: a.Start, delta: 1})
-		events = append(events, boundary{t: a.End, delta: -1})
+	events := make([]boundary, 0, 2*n)
+	for i := 0; i < n; i++ {
+		v := s.AttackAt(i)
+		events = append(events, boundary{t: v.Start(), delta: 1})
+		events = append(events, boundary{t: v.End(), delta: -1})
 	}
 	sort.Slice(events, func(i, j int) bool {
 		if !events[i].t.Equal(events[j].t) {

@@ -26,8 +26,8 @@ type ProtocolCount struct {
 // descending (ties by category order). This regenerates Figure 1.
 func ProtocolBreakdown(s *dataset.Store) []ProtocolCount {
 	counts := make(map[dataset.Category]int)
-	for _, a := range s.Attacks() {
-		counts[a.Category]++
+	for i, n := 0, s.AttackRows(); i < n; i++ {
+		counts[s.AttackAt(i).Category()]++
 	}
 	out := make([]ProtocolCount, 0, len(counts))
 	for _, c := range dataset.Categories {
@@ -52,11 +52,13 @@ type FamilyProtocolRow struct {
 // alphabetically inside each.
 func FamilyProtocolTable(s *dataset.Store) []FamilyProtocolRow {
 	counts := make(map[dataset.Category]map[dataset.Family]int)
-	for _, a := range s.Attacks() {
-		if counts[a.Category] == nil {
-			counts[a.Category] = make(map[dataset.Family]int)
+	for i, n := 0, s.AttackRows(); i < n; i++ {
+		v := s.AttackAt(i)
+		cat := v.Category()
+		if counts[cat] == nil {
+			counts[cat] = make(map[dataset.Family]int)
 		}
-		counts[a.Category][a.Family]++
+		counts[cat][v.Family()]++
 	}
 	var out []FamilyProtocolRow
 	for _, c := range dataset.Categories {
@@ -102,8 +104,9 @@ func DailyDistribution(s *dataset.Store) (DailyStats, error) {
 	}
 	dayStart := time.Date(first.Year(), first.Month(), first.Day(), 0, 0, 0, 0, time.UTC)
 	byDay := make(map[int]*DailyCount)
-	for _, a := range s.Attacks() {
-		d := int(a.Start.Sub(dayStart).Hours() / 24)
+	for i, n := 0, s.AttackRows(); i < n; i++ {
+		v := s.AttackAt(i)
+		d := int(v.Start().Sub(dayStart).Hours() / 24)
 		dc := byDay[d]
 		if dc == nil {
 			dc = &DailyCount{
@@ -113,7 +116,7 @@ func DailyDistribution(s *dataset.Store) (DailyStats, error) {
 			byDay[d] = dc
 		}
 		dc.Count++
-		dc.ByFamily[a.Family]++
+		dc.ByFamily[v.Family()]++
 	}
 	idx := make([]int, 0, len(byDay))
 	for d := range byDay {
@@ -168,12 +171,12 @@ func FamilyActivity(s *dataset.Store) []ActivityWindow {
 	span := last.Sub(first).Seconds()
 	var out []ActivityWindow
 	for _, f := range s.Families() {
-		attacks := s.ByFamily(f)
+		rows := s.RowsByFamily(f)
 		w := ActivityWindow{
 			Family:  f,
-			First:   attacks[0].Start,
-			Last:    attacks[len(attacks)-1].Start,
-			Attacks: len(attacks),
+			First:   s.AttackAt(int(rows[0])).Start(),
+			Last:    s.AttackAt(int(rows[len(rows)-1])).Start(),
+			Attacks: len(rows),
 		}
 		if span > 0 {
 			w.Coverage = w.Last.Sub(w.First).Seconds() / span

@@ -49,10 +49,9 @@ func dispersionFixture(t testing.TB) *dataset.Store {
 func TestDispersionScanZeroAlloc(t *testing.T) {
 	s := dispersionFixture(t)
 	ix := s.BotDense()
-	a := s.Attacks()[0]
-	scratch := make([]geo.CachedPoint, 0, len(a.BotIPs))
+	scratch := make([]geo.CachedPoint, 0, s.AttackAt(0).Magnitude())
 	allocs := testing.AllocsPerRun(100, func() {
-		pts := appendBotPoints(scratch[:0], ix, a)
+		pts := appendRowPoints(scratch[:0], ix, 0)
 		if _, ok := geo.DispersionCached(pts); !ok {
 			t.Fatal("dispersion not ok")
 		}

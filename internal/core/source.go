@@ -35,12 +35,12 @@ type DispersionPoint struct {
 //
 //botscope:hotpath
 func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
-	attacks := s.ByFamily(f)
+	rows := s.RowsByFamily(f)
 	ix := s.BotDense()
-	out := make([]DispersionPoint, 0, len(attacks))
+	out := make([]DispersionPoint, 0, len(rows))
 	var scratch []geo.CachedPoint
-	for _, a := range attacks {
-		scratch = appendBotPoints(scratch[:0], ix, a)
+	for _, row := range rows {
+		scratch = appendRowPoints(scratch[:0], ix, int(row))
 		if len(scratch) == 0 {
 			continue
 		}
@@ -48,18 +48,20 @@ func DispersionSeries(s *dataset.Store, f dataset.Family) []DispersionPoint {
 		if !ok {
 			continue
 		}
-		out = append(out, DispersionPoint{AttackID: a.ID, Value: d})
+		out = append(out, DispersionPoint{AttackID: s.AttackAt(int(row)).ID(), Value: d})
 	}
 	return out
 }
 
-// appendBotPoints appends the attack's resolvable bot locations to dst,
-// in BotIPs order — the dense-index equivalent of the old botPoints.
+// appendRowPoints appends attack row i's resolvable bot locations to
+// dst, in source order — the column-cursor equivalent of the old
+// record-keyed appendBotPoints, so the scan never touches the record
+// face.
 //
 //botscope:hotpath
-func appendBotPoints(dst []geo.CachedPoint, ix *dataset.BotIndex, a *dataset.Attack) []geo.CachedPoint {
-	for _, id := range ix.Refs(a) {
-		if ix.Rec(id) != nil {
+func appendRowPoints(dst []geo.CachedPoint, ix *dataset.BotIndex, row int) []geo.CachedPoint {
+	for _, id := range ix.RefsRow(row) {
+		if ix.Resolved(id) {
 			dst = append(dst, ix.Point(id))
 		}
 	}
@@ -195,12 +197,12 @@ func activeFamiliesFrom(families []dataset.Family, seriesOf func(dataset.Family)
 //
 //botscope:hotpath
 func AttackerTargetDistance(s *dataset.Store, f dataset.Family) []float64 {
-	attacks := s.ByFamily(f)
+	rows := s.RowsByFamily(f)
 	ix := s.BotDense()
-	out := make([]float64, 0, len(attacks))
+	out := make([]float64, 0, len(rows))
 	var scratch []geo.CachedPoint
-	for _, a := range attacks {
-		scratch = appendBotPoints(scratch[:0], ix, a)
+	for _, row := range rows {
+		scratch = appendRowPoints(scratch[:0], ix, int(row))
 		if len(scratch) == 0 {
 			continue
 		}
@@ -208,7 +210,8 @@ func AttackerTargetDistance(s *dataset.Store, f dataset.Family) []float64 {
 		if !ok {
 			continue
 		}
-		out = append(out, geo.Haversine(center, geo.LatLon{Lat: a.TargetLat, Lon: a.TargetLon}))
+		v := s.AttackAt(int(row))
+		out = append(out, geo.Haversine(center, geo.LatLon{Lat: v.TargetLat(), Lon: v.TargetLon()}))
 	}
 	return out
 }

@@ -27,8 +27,8 @@ type TargetCountryProfile struct {
 // the Top list (the paper shows 5).
 func TargetCountries(s *dataset.Store, f dataset.Family, topN int) TargetCountryProfile {
 	counts := make(map[string]int)
-	for _, a := range s.ByFamily(f) {
-		counts[a.TargetCountry]++
+	for _, row := range s.RowsByFamily(f) {
+		counts[s.AttackAt(int(row)).TargetCountry()]++
 	}
 	out := TargetCountryProfile{Family: f, Countries: len(counts)}
 	for cc, n := range counts {
@@ -51,8 +51,8 @@ func TargetCountries(s *dataset.Store, f dataset.Family, topN int) TargetCountry
 // Netherlands 2,816).
 func GlobalTargetCountries(s *dataset.Store, topN int) []CountryCount {
 	counts := make(map[string]int)
-	for _, a := range s.Attacks() {
-		counts[a.TargetCountry]++
+	for i, n := 0, s.AttackRows(); i < n; i++ {
+		counts[s.AttackAt(i).TargetCountry()]++
 	}
 	out := make([]CountryCount, 0, len(counts))
 	for cc, n := range counts {
@@ -89,21 +89,22 @@ func OrgHotspots(s *dataset.Store, f dataset.Family, from, to time.Time) []OrgHo
 		cc  string
 	}
 	agg := make(map[key]*OrgHotspot)
-	for _, a := range s.ByFamily(f) {
-		if !from.IsZero() && a.Start.Before(from) {
+	for _, row := range s.RowsByFamily(f) {
+		v := s.AttackAt(int(row))
+		if !from.IsZero() && v.Start().Before(from) {
 			continue
 		}
-		if !to.IsZero() && !a.Start.Before(to) {
+		if !to.IsZero() && !v.Start().Before(to) {
 			continue
 		}
-		k := key{org: a.TargetOrg, cc: a.TargetCountry}
+		k := key{org: v.TargetOrg(), cc: v.TargetCountry()}
 		h := agg[k]
 		if h == nil {
 			h = &OrgHotspot{
-				Org:   a.TargetOrg,
-				CC:    a.TargetCountry,
-				City:  a.TargetCity,
-				Point: geo.LatLon{Lat: a.TargetLat, Lon: a.TargetLon},
+				Org:   v.TargetOrg(),
+				CC:    v.TargetCountry(),
+				City:  v.TargetCity(),
+				Point: geo.LatLon{Lat: v.TargetLat(), Lon: v.TargetLon()},
 			}
 			agg[k] = h
 		}
@@ -131,8 +132,8 @@ func OrgBreadth(s *dataset.Store) map[dataset.Family]int {
 	out := make(map[dataset.Family]int)
 	for _, f := range s.Families() {
 		orgs := make(map[string]bool)
-		for _, a := range s.ByFamily(f) {
-			orgs[a.TargetOrg] = true
+		for _, row := range s.RowsByFamily(f) {
+			orgs[s.AttackAt(int(row)).TargetOrg()] = true
 		}
 		out[f] = len(orgs)
 	}

@@ -20,17 +20,29 @@ import (
 // core: on the record path they are derived from the reference arena, on
 // the snapshot path they are decoded from the file, so a reloaded store
 // carries the identical dense addressing without re-walking 10M+
-// references.
+// references. Everything the column-native kernels touch (ips, rows,
+// pts, row-addressed spans, interned attributes) is built from the
+// columns alone; the record-facing conveniences — Rec and the
+// DDoSID-keyed Refs — materialize their inputs lazily, so an index over
+// a snapshot-loaded store stays record-free until one of those is
+// called.
 //
-// All fields except the lazy reverse map are written once inside
-// Store.botOnce and immutable after, so an index is safe for concurrent
-// readers; returned slices are shared and must not be modified.
+// All eager fields are written once inside Store.botOnce and immutable
+// after, so an index is safe for concurrent readers; returned slices
+// are shared and must not be modified.
 type BotIndex struct {
+	s    *Store
+	cols *Columns
 	ips  []netip.Addr      // id -> ip (shared with the columnar dense layer)
-	recs []*Bot            // id -> Botlist record; nil when unresolved
+	rows []int32           // id -> Botlist row, -1 when unresolved
 	pts  []geo.CachedPoint // id -> cached location; zero when unresolved
 	refs []int32           // per-attack id spans, concatenated in attack order
-	offs map[DDoSID]int    // attack -> offset of its span in refs
+
+	offsOnce sync.Once
+	offs     map[DDoSID]int // attack -> offset of its span in refs; written once inside offsOnce.Do
+
+	recsOnce sync.Once
+	recs     []*Bot // id -> Botlist record; written once inside recsOnce.Do
 
 	idsOnce sync.Once
 	ids     map[netip.Addr]int32 // ip -> dense id; written once inside idsOnce.Do, immutable after
@@ -46,22 +58,18 @@ func (s *Store) buildBotIndex() {
 	c := s.Cols()
 	d := s.denseBots()
 	ix := &BotIndex{
+		s:    s,
+		cols: c,
 		ips:  d.ips,
+		rows: d.rec,
 		refs: d.refs,
-		offs: make(map[DDoSID]int, len(s.attacks)),
-		recs: make([]*Bot, len(d.ips)),
 		pts:  make([]geo.CachedPoint, len(d.ips)),
-	}
-	for i, a := range s.attacks {
-		ix.offs[a.ID] = int(c.aOff[i])
 	}
 	for id, row := range d.rec {
 		if row < 0 {
 			continue
 		}
-		b := s.botList[row]
-		ix.recs[id] = b
-		ix.pts[id] = botPoint(b)
+		ix.pts[id] = geo.NewCachedPoint(geo.LatLon{Lat: c.bLat[row], Lon: c.bLon[row]})
 	}
 	s.botIdx = ix
 }
@@ -87,13 +95,59 @@ func (ix *BotIndex) ID(ip netip.Addr) (int32, bool) {
 // IP returns the address of a dense id.
 func (ix *BotIndex) IP(id int32) netip.Addr { return ix.ips[id] }
 
+// Resolved reports whether a dense id has a Botlist row.
+func (ix *BotIndex) Resolved(id int32) bool { return ix.rows[id] >= 0 }
+
+// Bot returns a cursor over the Botlist row of a resolved dense id. ok
+// is false when the IP never resolved in the Botlist.
+func (ix *BotIndex) Bot(id int32) (BotView, bool) {
+	row := ix.rows[id]
+	if row < 0 {
+		return BotView{}, false
+	}
+	return ix.cols.BotRow(row), true
+}
+
+// CountryOf returns the country code of a dense id's Botlist row, or ""
+// when unresolved — the column-native form of Rec(id).CountryCode that
+// the monitor kernels use without materializing records.
+func (ix *BotIndex) CountryOf(id int32) string {
+	row := ix.rows[id]
+	if row < 0 {
+		return ""
+	}
+	return ix.cols.strs[ix.cols.bCC[row]]
+}
+
 // Rec returns the Botlist record of a dense id, or nil when the IP never
-// resolved in the Botlist.
-func (ix *BotIndex) Rec(id int32) *Bot { return ix.recs[id] }
+// resolved in the Botlist. This is the record face of the index: on a
+// snapshot-loaded store the first call materializes the Bot records.
+func (ix *BotIndex) Rec(id int32) *Bot {
+	ix.recsOnce.Do(func() {
+		ix.s.records()
+		recs := make([]*Bot, len(ix.ips))
+		for i, row := range ix.rows {
+			if row >= 0 {
+				recs[i] = ix.s.botList[row]
+			}
+		}
+		ix.recs = recs
+	})
+	return ix.recs[id]
+}
 
 // Point returns the precomputed location of a resolved dense id. The
-// value is meaningful only when Rec(id) != nil.
+// value is meaningful only when Resolved(id).
 func (ix *BotIndex) Point(id int32) geo.CachedPoint { return ix.pts[id] }
+
+// RefsRow returns attack row i's source set as dense ids. The span
+// aliases the index's shared refs array and must not be modified.
+//
+//botscope:shared
+func (ix *BotIndex) RefsRow(i int) []int32 {
+	lo, hi := ix.cols.aOff[i], ix.cols.aOff[i+1]
+	return ix.refs[lo:hi:hi]
+}
 
 // Refs returns the attack's source set as dense ids, aligned with
 // a.BotIPs. It returns nil for attacks not belonging to this store. The
@@ -101,6 +155,14 @@ func (ix *BotIndex) Point(id int32) geo.CachedPoint { return ix.pts[id] }
 //
 //botscope:shared
 func (ix *BotIndex) Refs(a *Attack) []int32 {
+	ix.offsOnce.Do(func() {
+		c := ix.cols
+		offs := make(map[DDoSID]int, len(c.aID))
+		for i, id := range c.aID {
+			offs[DDoSID(id)] = int(c.aOff[i])
+		}
+		ix.offs = offs
+	})
 	off, ok := ix.offs[a.ID]
 	if !ok {
 		return nil

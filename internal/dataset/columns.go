@@ -7,8 +7,8 @@ package dataset
 // by int32 id, every timestamp is an int64 of UTC nanoseconds, and every
 // attack's source set is a span into one shared reference arena. The
 // columns are what the binary snapshot codec (snapshot.go) serializes,
-// what Table III's distinct-entity scan walks, and what the dense
-// BotIndex is derived from.
+// what the analysis kernels iterate through the cursor API (cursor.go),
+// and what the dense BotIndex is derived from.
 //
 // Columns are built on one of two paths:
 //
@@ -17,9 +17,10 @@ package dataset
 //     the summary scan, the dense index, the snapshot encoder — needs
 //     them.
 //   - snapshot path: the decoder produces Columns directly from the
-//     file, and storeFromColumns materializes the record views (arena-
-//     allocated structs whose BotIPs alias the shared reference arena)
-//     plus the standing indexes on top.
+//     file, validateColumns re-checks every store invariant over the
+//     flat arrays, and the record views stay unbuilt until a caller
+//     actually asks for *Attack/*Bot pointers (Store.records). A full
+//     column-native analysis run never pays for them.
 //
 // Either way the columns are immutable once published and safe for
 // concurrent readers.
@@ -29,8 +30,6 @@ import (
 	"net/netip"
 	"sync"
 	"time"
-
-	"botscope/internal/geo"
 )
 
 // interner assigns dense int32 ids to strings in first-seen order. Id 0
@@ -72,7 +71,7 @@ type Columns struct {
 	aID     []uint64 // ddos_id
 	aBotnet []uint32 // botnet_id
 	aFam    []int32  // family, interned
-	aCat    []uint8  // Category value
+	aCat    []uint8  // Category value; may alias a mapped snapshot (see mmap)
 	aTgt    []int32  // index into targets
 	aStart  []int64  // Start, UTC nanoseconds
 	aEnd    []int64  // End, UTC nanoseconds
@@ -82,8 +81,14 @@ type Columns struct {
 	aOrg    []int32  // target org, interned
 	aLat    []float64
 	aLon    []float64
-	aOff    []int64      // len n+1; attack i's sources are refIPs[aOff[i]:aOff[i+1]]
-	refIPs  []netip.Addr // all attacks' source IPs, concatenated in attack order
+	aOff    []int64 // len n+1; attack i's sources are span [aOff[i], aOff[i+1])
+
+	// refIPs expands the reference spans to addresses. The record path
+	// fills it during columnize; the snapshot path derives it on demand
+	// from the dense layer (refArena), since column-native consumers only
+	// ever need the dense ids.
+	refsOnce sync.Once
+	refIPs   []netip.Addr // all attacks' source IPs, concatenated in attack order
 
 	// Bot columns (Botlist rows, deduplicated by IP, first-occurrence
 	// order, last record wins).
@@ -104,8 +109,17 @@ type Columns struct {
 	nFirst []int64
 	nLast  []int64
 
+	nRowOnce sync.Once
+	nRowByID map[uint32]int32 // botnet id -> row; written once inside nRowOnce.Do
+
 	denseOnce sync.Once
 	dense     *denseBots // written once inside denseOnce.Do (or by the decoder); immutable after
+
+	// mmap pins the mapped snapshot region alive for as long as any
+	// column that aliases it (aCat) is reachable. nil when the snapshot
+	// was decoded from a heap buffer or the store was columnized from
+	// records.
+	mmap *mmapRegion
 }
 
 // NumAttacks returns the number of attack rows.
@@ -119,10 +133,49 @@ func (c *Columns) NumBotnets() int { return len(c.nID) }
 
 // NumRefs returns the total number of source-IP references across all
 // attacks (the length of the shared reference arena).
-func (c *Columns) NumRefs() int { return len(c.refIPs) }
+func (c *Columns) NumRefs() int {
+	if len(c.aOff) == 0 {
+		return 0
+	}
+	return int(c.aOff[len(c.aOff)-1])
+}
 
 // NumStrings returns the size of the interned string table.
 func (c *Columns) NumStrings() int { return len(c.strs) }
+
+// refArena returns the expanded source-IP arena, deriving it from the
+// dense layer on first use. The record path pre-fills it in columnize,
+// so there the call is free; on the snapshot path it is the one big
+// allocation the lazy load defers until a record view is materialized.
+func (c *Columns) refArena() []netip.Addr {
+	c.refsOnce.Do(func() {
+		if c.refIPs != nil || c.dense == nil {
+			return
+		}
+		ips := make([]netip.Addr, len(c.dense.refs))
+		for i, id := range c.dense.refs {
+			ips[i] = c.dense.ips[id]
+		}
+		c.refIPs = ips
+	})
+	return c.refIPs
+}
+
+// botnetRow resolves a botnet id to its column row. The reverse map is
+// built lazily: most analyses only walk attack columns.
+func (c *Columns) botnetRow(id uint32) (int32, bool) {
+	c.nRowOnce.Do(func() {
+		m := make(map[uint32]int32, len(c.nID))
+		for i, v := range c.nID {
+			if _, ok := m[v]; !ok {
+				m[v] = int32(i)
+			}
+		}
+		c.nRowByID = m
+	})
+	row, ok := c.nRowByID[id]
+	return row, ok
+}
 
 // denseBots is the dense addressing layer over the reference arena:
 // every distinct source IP gets one int32 id assigned at its first
@@ -287,14 +340,133 @@ func (s *Store) columnize() *Columns {
 // round trip preserves instants and RFC 3339 formatting exactly.
 func nanoTime(ns int64) time.Time { return time.Unix(0, ns).UTC() }
 
-// storeFromColumns materializes the record views and standing indexes
-// over decoded columns: arena-allocated Attack/Bot/Botnet structs whose
-// strings come from the interned table and whose BotIPs alias the shared
-// reference arena. Every attack re-passes Validate, ids are re-checked
-// for uniqueness, and the (Start, ID) sort order is enforced, so a
-// hostile snapshot cannot construct a Store that violates the package's
-// invariants.
-func storeFromColumns(c *Columns) (*Store, error) {
+// Column timestamps must sit inside the UnixNano-representable range the
+// record-path Validate enforces (years 1678..2261), expressed here as
+// nanosecond bounds so validation never has to construct a time.Time on
+// the happy path.
+var (
+	minValidNano = time.Date(1678, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	maxValidNano = time.Date(2262, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano() - 1
+)
+
+// validateColumns re-checks every Store invariant directly over decoded
+// columns — the column-native equivalent of running Attack.Validate plus
+// the duplicate-id, sort-order, and dense cross-checks the old eager
+// materializer performed — so a hostile snapshot cannot construct a
+// Store that violates the package's invariants, and the record views can
+// later be materialized without any re-validation.
+func validateColumns(c *Columns) error {
+	seenStr := make(map[string]struct{}, len(c.strs))
+	for i, str := range c.strs {
+		if _, dup := seenStr[str]; dup {
+			return fmt.Errorf("dataset: snapshot string table has duplicate entry %q at id %d", str, i)
+		}
+		seenStr[str] = struct{}{}
+	}
+
+	seenNet := make(map[uint32]struct{}, len(c.nID))
+	for _, id := range c.nID {
+		if _, dup := seenNet[id]; dup {
+			return fmt.Errorf("dataset: snapshot has duplicate botnet_id %d", id)
+		}
+		seenNet[id] = struct{}{}
+	}
+
+	var catValid [256]bool
+	for _, cat := range Categories {
+		catValid[uint8(cat)] = true
+	}
+
+	n := len(c.aID)
+	tgtSeen := make([]bool, len(c.targets))
+	seen := make(map[uint64]struct{}, n)
+	for i := 0; i < n; i++ {
+		id := c.aID[i]
+		if id == 0 {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack has zero ddos_id", i)
+		}
+		if c.aBotnet[i] == 0 {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has zero botnet_id", i, id)
+		}
+		if c.strs[c.aFam[i]] == "" {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has empty family", i, id)
+		}
+		if !catValid[c.aCat[i]] {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has invalid category %d", i, id, c.aCat[i])
+		}
+		if !c.targets[c.aTgt[i]].IsValid() {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has invalid target IP", i, id)
+		}
+		tgtSeen[c.aTgt[i]] = true
+		if c.aEnd[i] < c.aStart[i] {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d ends (%v) before it starts (%v)",
+				i, id, nanoTime(c.aEnd[i]), nanoTime(c.aStart[i]))
+		}
+		if c.aStart[i] < minValidNano || c.aStart[i] > maxValidNano {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d start year %d outside representable range",
+				i, id, nanoTime(c.aStart[i]).Year())
+		}
+		if c.aEnd[i] < minValidNano || c.aEnd[i] > maxValidNano {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d end year %d outside representable range",
+				i, id, nanoTime(c.aEnd[i]).Year())
+		}
+		if c.aOff[i+1] == c.aOff[i] {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has no source IPs", i, id)
+		}
+		if lat, lon := c.aLat[i], c.aLon[i]; lat < -90 || lat > 90 || lon < -180 || lon > 180 {
+			return fmt.Errorf("dataset: snapshot attack row %d: dataset: attack %d has out-of-range coordinates (%v, %v)",
+				i, id, lat, lon)
+		}
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("dataset: snapshot has duplicate ddos_id %d", id)
+		}
+		seen[id] = struct{}{}
+		if i > 0 {
+			if c.aStart[i] < c.aStart[i-1] ||
+				(c.aStart[i] == c.aStart[i-1] && c.aID[i] <= c.aID[i-1]) {
+				return fmt.Errorf("dataset: snapshot attack rows not sorted by (start, id) at row %d", i)
+			}
+		}
+	}
+	for tid, ok := range tgtSeen {
+		if !ok {
+			return fmt.Errorf("dataset: snapshot target %d is never referenced by an attack", tid)
+		}
+	}
+
+	if d := c.dense; d != nil {
+		for id, row := range d.rec {
+			if row >= 0 && d.ips[id] != c.bIP[row] {
+				return fmt.Errorf("dataset: snapshot dense id %d resolves to bot row %d with mismatched IP", id, row)
+			}
+		}
+	}
+	return nil
+}
+
+// newLazyStore wraps validated columns in a Store whose record views are
+// materialized on demand (Store.records). validate is skipped when the
+// snapshot's section checksums were already validated by an earlier load
+// in this process (see the v2 CRC layout in snapshot.go).
+func newLazyStore(c *Columns, validate bool) (*Store, error) {
+	if validate {
+		if err := validateColumns(c); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{fromSnapshot: true, cols: c}, nil
+}
+
+// materializeRecords builds the record views and record-keyed indexes
+// over already-validated columns: arena-allocated Attack/Bot/Botnet
+// structs whose strings come from the interned table and whose BotIPs
+// alias the shared reference arena. It runs at most once per store,
+// inside Store.recOnce, and only when a caller actually asks for the
+// record face — a column-native analysis pass never gets here.
+func (s *Store) materializeRecords() {
+	c := s.cols
+	refIPs := c.refArena()
+
 	nb := len(c.bIP)
 	botArena := make([]Bot, nb)
 	botList := make([]*Bot, nb)
@@ -323,9 +495,6 @@ func storeFromColumns(c *Columns) (*Store, error) {
 		b.ControllerIP = c.nCtrl[i]
 		b.FirstSeen = nanoTime(c.nFirst[i])
 		b.LastSeen = nanoTime(c.nLast[i])
-		if _, dup := botnets[b.ID]; dup {
-			return nil, fmt.Errorf("dataset: snapshot has duplicate botnet_id %d", b.ID)
-		}
 		botnets[b.ID] = b
 		botnetList[i] = b
 	}
@@ -333,7 +502,6 @@ func storeFromColumns(c *Columns) (*Store, error) {
 	n := len(c.aID)
 	arena := make([]Attack, n)
 	attacks := make([]*Attack, n)
-	seen := make(map[DDoSID]struct{}, n)
 	for i := range arena {
 		a := &arena[i]
 		a.ID = DDoSID(c.aID[i])
@@ -344,52 +512,23 @@ func storeFromColumns(c *Columns) (*Store, error) {
 		a.Start = nanoTime(c.aStart[i])
 		a.End = nanoTime(c.aEnd[i])
 		lo, hi := c.aOff[i], c.aOff[i+1]
-		a.BotIPs = c.refIPs[lo:hi:hi]
+		a.BotIPs = refIPs[lo:hi:hi]
 		a.TargetASN = int(c.aASN[i])
 		a.TargetCountry = c.strs[c.aCC[i]]
 		a.TargetCity = c.strs[c.aCity[i]]
 		a.TargetOrg = c.strs[c.aOrg[i]]
 		a.TargetLat = c.aLat[i]
 		a.TargetLon = c.aLon[i]
-		if err := a.Validate(); err != nil {
-			return nil, fmt.Errorf("dataset: snapshot attack row %d: %w", i, err)
-		}
-		if _, dup := seen[a.ID]; dup {
-			return nil, fmt.Errorf("dataset: snapshot has duplicate ddos_id %d", a.ID)
-		}
-		seen[a.ID] = struct{}{}
-		if i > 0 {
-			if c.aStart[i] < c.aStart[i-1] ||
-				(c.aStart[i] == c.aStart[i-1] && c.aID[i] <= c.aID[i-1]) {
-				return nil, fmt.Errorf("dataset: snapshot attack rows not sorted by (start, id) at row %d", i)
-			}
-		}
 		attacks[i] = a
 	}
 
-	if d := c.dense; d != nil {
-		for id, row := range d.rec {
-			if row >= 0 && d.ips[id] != botArena[row].IP {
-				return nil, fmt.Errorf("dataset: snapshot dense id %d resolves to bot row %d with mismatched IP", id, row)
-			}
-		}
-	}
-
-	s := &Store{
-		attacks:    attacks,
-		botnetList: botnetList,
-		botnets:    botnets,
-		botList:    botList,
-		cols:       c,
-	}
+	s.botnetList = botnetList
+	s.botnets = botnets
+	s.botList = botList
+	s.attacks = attacks
 	scratch := make([]int32, n)
 	s.byFamily = buildBuckets(attacks, scratch, func(a *Attack) Family { return a.Family })
 	s.byTarget = buildBuckets(attacks, scratch, func(a *Attack) netip.Addr { return a.TargetIP })
 	s.byBotnet = buildBuckets(attacks, scratch, func(a *Attack) BotnetID { return a.BotnetID })
-	return s, nil
-}
-
-// botPoint is the shared cached-trig constructor for a Botlist row.
-func botPoint(b *Bot) geo.CachedPoint {
-	return geo.NewCachedPoint(geo.LatLon{Lat: b.Lat, Lon: b.Lon})
+	s.recBuilt.Store(true)
 }

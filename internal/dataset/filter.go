@@ -66,6 +66,7 @@ func (f *Filter) match(a *Attack) bool {
 // still appear in at least one kept attack. It returns an error when the
 // filter keeps nothing — an empty analysis is almost always a mistake.
 func (s *Store) Subset(f Filter) (*Store, error) {
+	s.records()
 	var kept []*Attack
 	for _, a := range s.attacks {
 		if f.match(a) {

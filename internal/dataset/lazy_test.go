@@ -1,0 +1,244 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotLazyRecords pins the tentpole property of the lazy load
+// path: a snapshot-loaded store answers every column-native consumer —
+// counts, summary, families, targets, time bounds, the dense bot index,
+// and cursor reads — without ever materializing the record view, and the
+// first record-face call flips it over with identical content.
+func TestSnapshotLazyRecords(t *testing.T) {
+	s := snapFixtureStore(t)
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.RecordsMaterialized() {
+		t.Fatal("decode materialized the record view")
+	}
+	if !s.RecordsMaterialized() {
+		t.Fatal("record-built store reports unmaterialized records")
+	}
+
+	// Column-native surface: none of these may touch the record face.
+	if got.NumAttacks() != s.NumAttacks() || got.NumBots() != s.NumBots() ||
+		got.NumBotnets() != s.NumBotnets() || got.NumTargets() != s.NumTargets() {
+		t.Fatal("lazy counts differ from the record-built store")
+	}
+	if got.Summary() != s.Summary() {
+		t.Fatalf("lazy summary differs:\n got %+v\nwant %+v", got.Summary(), s.Summary())
+	}
+	if len(got.Families()) != len(s.Families()) {
+		t.Fatal("lazy family list differs")
+	}
+	gf, gl, _ := got.TimeBounds()
+	wf, wl, _ := s.TimeBounds()
+	if !gf.Equal(wf) || !gl.Equal(wl) {
+		t.Fatal("lazy time bounds differ")
+	}
+	ix := got.BotDense()
+	if ix.NumIDs() != s.BotDense().NumIDs() {
+		t.Fatal("lazy dense index differs")
+	}
+	want := s.Attacks()
+	for i, n := 0, got.AttackRows(); i < n; i++ {
+		v, w := got.AttackAt(i), want[i]
+		if v.ID() != w.ID || v.BotnetID() != w.BotnetID || v.Family() != w.Family ||
+			v.Category() != w.Category || v.TargetIP() != w.TargetIP ||
+			!v.Start().Equal(w.Start) || !v.End().Equal(w.End) ||
+			v.Magnitude() != w.Magnitude() ||
+			v.TargetASN() != w.TargetASN || v.TargetCountry() != w.TargetCountry ||
+			v.TargetCity() != w.TargetCity || v.TargetOrg() != w.TargetOrg ||
+			v.TargetLat() != w.TargetLat || v.TargetLon() != w.TargetLon {
+			t.Fatalf("cursor row %d differs from record %+v", i, w)
+		}
+		if len(ix.RefsRow(i)) != len(w.BotIPs) {
+			t.Fatalf("cursor row %d ref span length differs", i)
+		}
+	}
+	if got.RecordsMaterialized() {
+		t.Fatal("column-native reads materialized the record view")
+	}
+
+	// First record-face touch: identical content, flag flips.
+	if !bytes.Equal(csvBytes(t, s), csvBytes(t, got)) {
+		t.Fatal("materialized records differ from the original store")
+	}
+	if !got.RecordsMaterialized() {
+		t.Fatal("Attacks() did not materialize the record view")
+	}
+}
+
+// TestAttackRecordAtMatchesRecords pins that the per-row record bridge
+// used by the chain/collaboration detectors builds records identical to
+// the materialized arena — without itself triggering materialization.
+func TestAttackRecordAtMatchesRecords(t *testing.T) {
+	s := snapFixtureStore(t)
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := s.Attacks()
+	for i := range want {
+		a, w := got.AttackRecordAt(i), want[i]
+		if a.ID != w.ID || a.BotnetID != w.BotnetID || a.Family != w.Family ||
+			a.Category != w.Category || a.TargetIP != w.TargetIP ||
+			!a.Start.Equal(w.Start) || !a.End.Equal(w.End) ||
+			a.TargetASN != w.TargetASN || a.TargetCountry != w.TargetCountry ||
+			a.TargetCity != w.TargetCity || a.TargetOrg != w.TargetOrg ||
+			a.TargetLat != w.TargetLat || a.TargetLon != w.TargetLon {
+			t.Fatalf("ephemeral record %d differs: got %+v, want %+v", i, a, w)
+		}
+		if len(a.BotIPs) != len(w.BotIPs) {
+			t.Fatalf("record %d has %d bot IPs, want %d", i, len(a.BotIPs), len(w.BotIPs))
+		}
+		for j := range a.BotIPs {
+			if a.BotIPs[j] != w.BotIPs[j] {
+				t.Fatalf("record %d bot ip %d differs", i, j)
+			}
+		}
+	}
+	if got.RecordsMaterialized() {
+		t.Fatal("AttackRecordAt materialized the record view")
+	}
+	// After materialization the bridge must return the shared records.
+	_ = got.Attacks()
+	for i := range want {
+		if got.AttackRecordAt(i) != got.Attacks()[i] {
+			t.Fatalf("post-materialization AttackRecordAt(%d) is not the shared record", i)
+		}
+	}
+}
+
+// TestSnapshotConcurrentMaterialize hammers first-touch of the lazy
+// record view from many goroutines under -race: every reader must see a
+// fully built, identical record arena regardless of who wins the Once.
+func TestSnapshotConcurrentMaterialize(t *testing.T) {
+	s := snapFixtureStore(t)
+	data := EncodeSnapshot(s)
+	want := csvBytes(t, s)
+	for round := 0; round < 10; round++ {
+		got, err := DecodeSnapshot(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				switch g % 4 {
+				case 0:
+					if len(got.Attacks()) != s.NumAttacks() {
+						errs <- "short attack list"
+					}
+				case 1:
+					for _, f := range got.Families() {
+						if len(got.ByFamily(f)) == 0 {
+							errs <- "empty family bucket"
+						}
+					}
+				case 2:
+					for i := 0; i < got.AttackRows(); i++ {
+						if got.AttackRecordAt(i) == nil {
+							errs <- "nil record"
+						}
+					}
+				case 3:
+					ix := got.BotDense()
+					for id := int32(0); id < int32(ix.NumIDs()); id++ {
+						_ = ix.Rec(id)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatal(msg)
+		}
+		if !bytes.Equal(want, csvBytes(t, got)) {
+			t.Fatalf("round %d: concurrent materialization corrupted records", round)
+		}
+	}
+}
+
+// TestReadSnapshotMmapInfo pins the load-path provenance: a regular file
+// takes the mmap path (where the platform supports it), BOTSCOPE_NO_MMAP
+// forces the io.ReadAll fallback, a non-file reader never maps — and all
+// three produce identical stores.
+func TestReadSnapshotMmapInfo(t *testing.T) {
+	s := snapFixtureStore(t)
+	want := csvBytes(t, s)
+	path := filepath.Join(t.TempDir(), "fixture.bscs")
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(t *testing.T) *Store {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		got, err := ReadSnapshot(f)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return got
+	}
+
+	mmapSupported := false
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos":
+		mmapSupported = true
+	}
+
+	t.Run("file", func(t *testing.T) {
+		got := load(t)
+		info := got.SnapshotInfo()
+		if info.Version != snapVersion || info.Bytes != int64(buf.Len()) {
+			t.Fatalf("info = %+v, want version %d over %d bytes", info, snapVersion, buf.Len())
+		}
+		if mmapSupported && !info.Mapped {
+			t.Fatal("regular file load did not take the mmap path")
+		}
+		if !bytes.Equal(want, csvBytes(t, got)) {
+			t.Fatal("mapped store differs")
+		}
+	})
+	t.Run("no-mmap-env", func(t *testing.T) {
+		t.Setenv("BOTSCOPE_NO_MMAP", "1")
+		got := load(t)
+		if got.SnapshotInfo().Mapped {
+			t.Fatal("BOTSCOPE_NO_MMAP load still mapped the file")
+		}
+		if !bytes.Equal(want, csvBytes(t, got)) {
+			t.Fatal("fallback store differs")
+		}
+	})
+	t.Run("non-file-reader", func(t *testing.T) {
+		got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got.SnapshotInfo().Mapped {
+			t.Fatal("bytes.Reader load claims to be mapped")
+		}
+		if !bytes.Equal(want, csvBytes(t, got)) {
+			t.Fatal("reader-loaded store differs")
+		}
+	})
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapRegion is the stub region for platforms without mmap support; the
+// snapshot reader falls back to io.ReadAll there.
+type mmapRegion struct {
+	data []byte
+}
+
+func mmapFile(_ *os.File, _ int64) (*mmapRegion, error) {
+	return nil, errors.New("dataset: mmap unsupported on this platform")
+}
+
+func (m *mmapRegion) close() {}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mmapRegion owns one read-only file mapping. Columns that alias the
+// mapping hold a pointer to the region (Columns.mmap), which keeps it
+// reachable; the finalizer unmaps once nothing references it. close is
+// idempotent so error paths can unmap eagerly.
+type mmapRegion struct {
+	data []byte
+}
+
+// mmapFile maps the first size bytes of f read-only and shared. The
+// mapping is independent of the file descriptor's lifetime: closing f
+// afterwards is safe.
+func mmapFile(f *os.File, size int64) (*mmapRegion, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("dataset: cannot mmap %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: mmap: %w", err)
+	}
+	m := &mmapRegion{data: data}
+	runtime.SetFinalizer(m, (*mmapRegion).close)
+	return m, nil
+}
+
+func (m *mmapRegion) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}

@@ -16,15 +16,29 @@ package dataset
 // bumps on any layout change (there is no in-place migration — a
 // snapshot is a cache of a reproducible workload, so "regenerate and
 // re-snapshot" is always safe); decoders reject unknown versions rather
-// than guessing. Within a version, decode is strict: every interned-id
-// and row reference is bounds-checked, attack rows must arrive sorted by
-// (Start, ID) with unique ids, dense ids must be numbered in first-
-// appearance order, and trailing bytes are an error. A decoded store
+// than guessing. Writers emit the current version; readers accept both
+// v2 and the legacy v1 layout. Within a version, decode is strict: every
+// interned-id and row reference is bounds-checked, attack rows must
+// arrive sorted by (Start, ID) with unique ids, dense ids must be
+// numbered in first-appearance order, and trailing bytes (in the stream,
+// and in v2 inside each section frame) are an error. A decoded store
 // therefore satisfies exactly the invariants NewStore enforces.
 //
-// Layout (version 1), all sections in one stream:
+// Layout (version 2):
 //
 //	"BSCS" | version uvarint
+//	6 section frames, in fixed order (strings, targets, botnets, bots,
+//	attacks, dense), each:
+//	    section id byte (1..6) |
+//	    payload length uint64 BE |
+//	    payload crc32 (Castagnoli) uint32 BE |
+//	    payload
+//
+// The fixed-width frame header lets the encoder emit each payload
+// straight into the output buffer and backfill length + checksum, and
+// lets a reader verify or skip a section without parsing it. Payload
+// encodings are byte-identical to the v1 section bodies:
+//
 //	strings:  count | (len | bytes)*
 //	targets:  count | addr*
 //	botnets:  count | id* | fam* | hash* | ctrl* | first* | last*
@@ -33,26 +47,55 @@ package dataset
 //	          startΔ* | endΔ* | asn* | cc* | city* | org* | lat* | lon* | span*
 //	dense:    count | ip* | ref* | rec*
 //
+// Version 1 is the same six payloads concatenated with no frame headers.
+//
 // Sections are column-major: each column is one contiguous run, which
 // keeps related varints adjacent. Attack starts are deltas from the
 // previous row (the sort makes them small and non-negative), ends are
 // deltas from their own start, bot LastActive values are zigzag deltas
 // from the previous row (clustered inside the paper window).
+//
+// The per-section checksums also feed a process-local validation cache:
+// when a snapshot whose six (length, crc) pairs were already fully
+// validated by an earlier load is decoded again, the structural parse
+// still runs (it is what builds the columns) but the semantic
+// re-validation (validateColumns) is skipped.
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net/netip"
+	"os"
+	"sync"
 )
 
 // Snapshot codec constants.
 const (
-	snapMagic   = "BSCS"
-	snapVersion = 1
+	snapMagic     = "BSCS"
+	snapVersion   = 2
+	snapVersionV1 = 1
 )
+
+// Section ids of the v2 frame layout, in stream order.
+const (
+	secStrings = 1
+	secTargets = 2
+	secBotnets = 3
+	secBots    = 4
+	secAttacks = 5
+	secDense   = 6
+)
+
+// snapSectionName names each section for typed decode errors; index 0 is
+// the pre-section header.
+var snapSectionName = [...]string{"header", "strings", "targets", "botnets", "bots", "attacks", "dense"}
+
+// castagnoli is the CRC-32C table used for section checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Snapshot codec errors.
 var (
@@ -61,6 +104,38 @@ var (
 	ErrSnapshotTruncated = errors.New("dataset: truncated snapshot")
 	ErrSnapshotCorrupt   = errors.New("dataset: corrupt snapshot")
 )
+
+// SnapshotError locates a decode failure: which section the reader was
+// in and the absolute byte offset (from the start of the snapshot) where
+// it gave up. It wraps the underlying cause, so
+// errors.Is(err, ErrSnapshotTruncated) and friends keep working.
+type SnapshotError struct {
+	Section string // section being parsed ("header", "strings", ..., "dense")
+	Offset  int64  // absolute offset into the snapshot bytes
+	Err     error
+}
+
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("%v (in %s section at offset %d)", e.Err, e.Section, e.Offset)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// validatedSnapshots caches the (length, crc) frame headers of v2
+// snapshots that fully passed validateColumns in this process, so
+// re-loading a byte-identical snapshot skips semantic re-validation.
+var validatedSnapshots sync.Map // string (concatenated frame headers) -> struct{}
+
+// SnapshotInfo describes how a store's snapshot was loaded.
+type SnapshotInfo struct {
+	Version int   // snapshot format version (0 for stores not loaded from a snapshot)
+	Bytes   int64 // encoded size in bytes
+	Mapped  bool  // true when the columns alias a memory-mapped file
+}
+
+// SnapshotInfo reports how this store was loaded. The zero value means
+// the store was built from records, not a snapshot.
+func (s *Store) SnapshotInfo() SnapshotInfo { return s.snapInfo }
 
 // snapWriter appends primitives to a growing buffer, mirroring the wire
 // codec's value discipline.
@@ -106,21 +181,33 @@ func (w *snapWriter) addr(a netip.Addr) {
 }
 
 // snapReader consumes primitives with a sticky error, so decode paths
-// read linearly and check once per section.
+// read linearly and check once per section. section and end track where
+// the reader is for typed errors: end is the absolute offset (from the
+// start of the snapshot) of the last byte of buf, so the current
+// position is end - len(buf).
 type snapReader struct {
-	buf []byte
-	err error
+	buf     []byte
+	err     error
+	section string
+	end     int64
 }
+
+// off returns the reader's absolute offset into the snapshot bytes.
+func (r *snapReader) off() int64 { return r.end - int64(len(r.buf)) }
 
 func (r *snapReader) fail() {
 	if r.err == nil {
-		r.err = ErrSnapshotTruncated
+		r.err = &SnapshotError{Section: r.section, Offset: r.off(), Err: ErrSnapshotTruncated}
 	}
 }
 
 func (r *snapReader) failf(format string, args ...any) {
 	if r.err == nil {
-		r.err = fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...)
+		r.err = &SnapshotError{
+			Section: r.section,
+			Offset:  r.off(),
+			Err:     fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...),
+		}
 	}
 }
 
@@ -211,7 +298,8 @@ func (r *snapReader) addr() netip.Addr {
 
 // count reads a collection length and sanity-checks it against the bytes
 // remaining (every element costs at least minBytes somewhere later in
-// the stream), so a corrupt count cannot force an arbitrary allocation.
+// the stream — in v2, later in the same section payload), so a corrupt
+// count cannot force an arbitrary allocation.
 func (r *snapReader) count(minBytes int) int {
 	n := r.uvarint()
 	if r.err != nil {
@@ -246,18 +334,68 @@ func WriteSnapshot(w io.Writer, s *Store) error {
 	return err
 }
 
-// ReadSnapshot reads one BSCS snapshot from r and materializes the
-// store.
+// ReadSnapshot reads one BSCS snapshot from r and returns a lazy store
+// over the decoded columns. When r is a regular file (and mmap is
+// supported and not disabled via BOTSCOPE_NO_MMAP), the snapshot bytes
+// are memory-mapped rather than read into the heap, and the columns that
+// the codec stores as raw bytes decode zero-copy over the mapping; any
+// mmap failure falls back to the plain read path. The record views of
+// the returned store are materialized on demand (see Store.records); a
+// column-native analysis run never builds them.
 func ReadSnapshot(r io.Reader) (*Store, error) {
+	if f, ok := r.(*os.File); ok && os.Getenv("BOTSCOPE_NO_MMAP") == "" {
+		if s, err, done := readSnapshotMapped(f); done {
+			return s, err
+		}
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeSnapshot(data)
+	// The buffer is private to this call, so columns may alias it.
+	return decodeSnapshot(data, true, false)
+}
+
+// readSnapshotMapped maps the rest of f and decodes over the mapping.
+// done is false when the mapped path is unavailable (not a regular file,
+// empty remainder, mmap failure) and the caller should fall back to the
+// read path; when done is true the decode outcome — success or a decode
+// error identical to the one the read path would produce — is final.
+func readSnapshotMapped(f *os.File) (s *Store, err error, done bool) {
+	pos, err := f.Seek(0, io.SeekCurrent)
+	if err != nil || pos < 0 {
+		return nil, nil, false
+	}
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return nil, nil, false
+	}
+	size := fi.Size()
+	if size <= pos {
+		return nil, nil, false
+	}
+	m, err := mmapFile(f, size)
+	if err != nil {
+		return nil, nil, false
+	}
+	s, err = decodeSnapshot(m.data[pos:], true, true)
+	if err != nil {
+		m.close()
+		return nil, err, true
+	}
+	// Consume the reader like io.ReadAll would, so callers that share the
+	// file handle see the same position either way.
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		m.close()
+		return nil, err, true
+	}
+	s.cols.mmap = m
+	return s, nil, true
 }
 
 // EncodeSnapshot serializes the store's columnar form (deriving it from
-// the records first if this store was never columnized).
+// the records first if this store was never columnized) in the current
+// (v2) frame layout.
 func EncodeSnapshot(s *Store) []byte {
 	c := s.Cols()
 	d := s.denseBots()
@@ -265,23 +403,51 @@ func EncodeSnapshot(s *Store) []byte {
 	for _, str := range c.strs {
 		strBytes += len(str) + 2
 	}
-	hint := 64 + strBytes +
+	hint := 160 + strBytes +
 		21*(len(c.targets)+len(d.ips)+len(c.nID)) +
-		64*len(c.bIP) + 80*len(c.aID) + 5*len(c.refIPs) + 2*len(d.rec)
+		64*len(c.bIP) + 80*len(c.aID) + 5*c.NumRefs() + 2*len(d.rec)
 	w := &snapWriter{buf: make([]byte, 0, hint)}
 	w.buf = append(w.buf, snapMagic...)
 	w.uvarint(snapVersion)
 
+	frame := func(id byte, enc func()) {
+		w.buf = append(w.buf, id)
+		hdr := len(w.buf)
+		w.buf = append(w.buf, make([]byte, 12)...)
+		start := len(w.buf)
+		enc()
+		payload := w.buf[start:]
+		binary.BigEndian.PutUint64(w.buf[hdr:hdr+8], uint64(len(payload)))
+		binary.BigEndian.PutUint32(w.buf[hdr+8:hdr+12], crc32.Checksum(payload, castagnoli))
+	}
+	frame(secStrings, func() { encStrings(w, c) })
+	frame(secTargets, func() { encTargets(w, c) })
+	frame(secBotnets, func() { encBotnets(w, c) })
+	frame(secBots, func() { encBots(w, c) })
+	frame(secAttacks, func() { encAttacks(w, c) })
+	frame(secDense, func() { encDense(w, d) })
+	return w.buf
+}
+
+// The enc* functions emit one section payload each; both the v2 encoder
+// and the test-only v1 encoder compose them, which is what keeps the two
+// layouts byte-compatible at the payload level.
+
+func encStrings(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.strs)))
 	for _, str := range c.strs {
 		w.str(str)
 	}
+}
 
+func encTargets(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.targets)))
 	for _, a := range c.targets {
 		w.addr(a)
 	}
+}
 
+func encBotnets(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.nID)))
 	for _, v := range c.nID {
 		w.uvarint(uint64(v))
@@ -301,7 +467,9 @@ func EncodeSnapshot(s *Store) []byte {
 	for _, v := range c.nLast {
 		w.varint(v)
 	}
+}
 
+func encBots(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.bIP)))
 	for _, a := range c.bIP {
 		w.addr(a)
@@ -329,10 +497,12 @@ func EncodeSnapshot(s *Store) []byte {
 		w.varint(v - prev)
 		prev = v
 	}
+}
 
+func encAttacks(w *snapWriter, c *Columns) {
 	n := len(c.aID)
 	w.uvarint(uint64(n))
-	w.uvarint(uint64(len(c.refIPs)))
+	w.uvarint(uint64(c.NumRefs()))
 	for _, v := range c.aID {
 		w.uvarint(v)
 	}
@@ -346,7 +516,7 @@ func EncodeSnapshot(s *Store) []byte {
 	for _, v := range c.aTgt {
 		w.uvarint(uint64(v))
 	}
-	prev = 0
+	prev := int64(0)
 	for i, v := range c.aStart {
 		if i == 0 {
 			w.varint(v)
@@ -379,7 +549,9 @@ func EncodeSnapshot(s *Store) []byte {
 	for i := 0; i < n; i++ {
 		w.uvarint(uint64(c.aOff[i+1] - c.aOff[i]))
 	}
+}
 
+func encDense(w *snapWriter, d *denseBots) {
 	w.uvarint(uint64(len(d.ips)))
 	for _, a := range d.ips {
 		w.addr(a)
@@ -390,34 +562,167 @@ func EncodeSnapshot(s *Store) []byte {
 	for _, row := range d.rec {
 		w.uvarint(uint64(row + 1)) // 0 = unresolved
 	}
-	return w.buf
 }
 
-// DecodeSnapshot parses a BSCS snapshot and materializes the store,
-// re-validating every record and invariant, so a corrupt or hostile
-// snapshot yields an error rather than a malformed store. This is the
-// fuzzer's entry point.
+// DecodeSnapshot parses a BSCS snapshot and returns a lazy store over
+// the decoded columns, validating every column invariant, so a corrupt
+// or hostile snapshot yields an error rather than a malformed store.
+// This is the fuzzer's entry point. The caller keeps ownership of data:
+// nothing in the returned store aliases it.
 func DecodeSnapshot(data []byte) (*Store, error) {
-	c, err := decodeColumns(data)
+	return decodeSnapshot(data, false, false)
+}
+
+// decodeSnapshot is the shared decode core. alias permits columns to
+// reference data directly (the caller guarantees data is immutable and
+// outlives the store); mapped records provenance in SnapshotInfo.
+func decodeSnapshot(data []byte, alias, mapped bool) (*Store, error) {
+	c, version, crcKey, err := decodeColumns(data, alias)
 	if err != nil {
 		return nil, err
 	}
-	return storeFromColumns(c)
+	validate := true
+	if crcKey != "" {
+		if _, ok := validatedSnapshots.Load(crcKey); ok {
+			validate = false
+		}
+	}
+	s, err := newLazyStore(c, validate)
+	if err != nil {
+		return nil, err
+	}
+	if validate && crcKey != "" {
+		validatedSnapshots.Store(crcKey, struct{}{})
+	}
+	s.snapInfo = SnapshotInfo{Version: version, Bytes: int64(len(data)), Mapped: mapped}
+	return s, nil
 }
 
-func decodeColumns(data []byte) (*Columns, error) {
+// decodeColumns parses either snapshot layout into columns. It returns
+// the format version and, for v2, the concatenated frame headers as the
+// validation-cache key ("" for v1: without checksums there is no safe
+// identity to cache under).
+func decodeColumns(data []byte, alias bool) (*Columns, int, string, error) {
 	if len(data) < len(snapMagic) {
-		return nil, ErrSnapshotTruncated
+		return nil, 0, "", ErrSnapshotTruncated
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, ErrSnapshotMagic
+		return nil, 0, "", ErrSnapshotMagic
 	}
-	r := &snapReader{buf: data[len(snapMagic):]}
-	if v := r.uvarint(); r.err == nil && v != snapVersion {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, v, snapVersion)
+	r := &snapReader{buf: data[len(snapMagic):], end: int64(len(data)), section: "header"}
+	v := r.uvarint()
+	if r.err != nil {
+		return nil, 0, "", r.err
 	}
+	switch v {
+	case snapVersionV1:
+		c, err := decodeColumnsV1(r, alias)
+		return c, snapVersionV1, "", err
+	case snapVersion:
+		c, key, err := decodeColumnsV2(r, alias)
+		return c, snapVersion, key, err
+	default:
+		return nil, 0, "", fmt.Errorf("%w: got %d, want <= %d", ErrSnapshotVersion, v, snapVersion)
+	}
+}
 
+// decodeColumnsV1 parses the legacy flat layout: the six section
+// payloads concatenated with no frame headers.
+func decodeColumnsV1(r *snapReader, alias bool) (*Columns, error) {
 	c := &Columns{}
+	nStr := parseStrings(r, c)
+	nTgt := parseTargets(r, c)
+	parseBotnets(r, c, nStr)
+	nb := parseBots(r, c, nStr)
+	nRefs := parseAttacks(r, c, nStr, nTgt, alias)
+	parseDense(r, c, nRefs, nb)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, &SnapshotError{
+			Section: r.section,
+			Offset:  r.off(),
+			Err:     fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(r.buf)),
+		}
+	}
+	return c, nil
+}
+
+// decodeColumnsV2 parses the framed layout: six checksummed sections in
+// fixed order.
+func decodeColumnsV2(r *snapReader, alias bool) (*Columns, string, error) {
+	c := &Columns{}
+	key := make([]byte, 0, 6*13)
+	var nStr, nTgt, nb, nRefs int
+	for sec := byte(secStrings); sec <= secDense; sec++ {
+		r.section = snapSectionName[sec]
+		if len(r.buf) < 13 {
+			r.fail()
+			return nil, "", r.err
+		}
+		if r.buf[0] != sec {
+			r.failf("section id %d, want %d (%s)", r.buf[0], sec, snapSectionName[sec])
+			return nil, "", r.err
+		}
+		plen := binary.BigEndian.Uint64(r.buf[1:9])
+		sum := binary.BigEndian.Uint32(r.buf[9:13])
+		key = append(key, r.buf[:13]...)
+		r.buf = r.buf[13:]
+		if uint64(len(r.buf)) < plen {
+			r.fail()
+			return nil, "", r.err
+		}
+		payload := r.buf[:plen]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			r.failf("%s section checksum mismatch", snapSectionName[sec])
+			return nil, "", r.err
+		}
+		base := r.off()
+		r.buf = r.buf[plen:]
+		sr := &snapReader{buf: payload, end: base + int64(plen), section: snapSectionName[sec]}
+		switch sec {
+		case secStrings:
+			nStr = parseStrings(sr, c)
+		case secTargets:
+			nTgt = parseTargets(sr, c)
+		case secBotnets:
+			parseBotnets(sr, c, nStr)
+		case secBots:
+			nb = parseBots(sr, c, nStr)
+		case secAttacks:
+			nRefs = parseAttacks(sr, c, nStr, nTgt, alias)
+		case secDense:
+			parseDense(sr, c, nRefs, nb)
+		}
+		if sr.err != nil {
+			return nil, "", sr.err
+		}
+		if len(sr.buf) != 0 {
+			return nil, "", &SnapshotError{
+				Section: snapSectionName[sec],
+				Offset:  sr.off(),
+				Err:     fmt.Errorf("%w: %d trailing bytes in %s section", ErrSnapshotCorrupt, len(sr.buf), snapSectionName[sec]),
+			}
+		}
+	}
+	if len(r.buf) != 0 {
+		return nil, "", &SnapshotError{
+			Section: "trailer",
+			Offset:  r.off(),
+			Err:     fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(r.buf)),
+		}
+	}
+	return c, string(key), nil
+}
+
+// The parse* functions consume one section payload each; the v1 decoder
+// runs them back to back over one reader, the v2 decoder gives each its
+// own framed sub-reader. Each sets the reader's section name so sticky
+// errors carry their location.
+
+func parseStrings(r *snapReader, c *Columns) int {
+	r.section = snapSectionName[secStrings]
 	nStr := r.count(1)
 	c.strs = make([]string, nStr)
 	for i := range c.strs {
@@ -426,13 +731,21 @@ func decodeColumns(data []byte) (*Columns, error) {
 	if r.err == nil && (nStr == 0 || c.strs[0] != "") {
 		r.failf("string table must start with the empty string")
 	}
+	return nStr
+}
 
+func parseTargets(r *snapReader, c *Columns) int {
+	r.section = snapSectionName[secTargets]
 	nTgt := r.count(1)
 	c.targets = make([]netip.Addr, nTgt)
 	for i := range c.targets {
 		c.targets[i] = r.addr()
 	}
+	return nTgt
+}
 
+func parseBotnets(r *snapReader, c *Columns, nStr int) {
+	r.section = snapSectionName[secBotnets]
 	// Botnet rows cost at least 1 byte in each of 6 columns.
 	nn := r.count(6)
 	c.nID = make([]uint32, nn)
@@ -463,7 +776,10 @@ func decodeColumns(data []byte) (*Columns, error) {
 	for i := range c.nLast {
 		c.nLast[i] = r.varint()
 	}
+}
 
+func parseBots(r *snapReader, c *Columns, nStr int) int {
+	r.section = snapSectionName[secBots]
 	// Bot rows cost at least 1+1+1+1+1+8+8+1 = 22 bytes across columns.
 	nb := r.count(22)
 	c.bIP = make([]netip.Addr, nb)
@@ -500,11 +816,23 @@ func decodeColumns(data []byte) (*Columns, error) {
 		prev += r.varint()
 		c.bLast[i] = prev
 	}
+	return nb
+}
 
+func parseAttacks(r *snapReader, c *Columns, nStr, nTgt int, alias bool) int {
+	r.section = snapSectionName[secAttacks]
 	// Attack rows cost at least 1 byte in each of 12 varint/byte columns
 	// plus 8 each for the two float columns: 28 bytes.
 	n := r.count(28)
-	nRefs := r.count(1)
+	// The references themselves live in the dense section, so nRefs is
+	// only sanity-bounded here (the span sum must hit it exactly below,
+	// and the dense parser re-bounds it against its own payload before
+	// allocating).
+	nRefs64 := r.uvarint()
+	if r.err == nil && nRefs64 > math.MaxInt64/4 {
+		r.failf("reference count %d implausibly large", nRefs64)
+	}
+	nRefs := int(nRefs64)
 	c.aID = make([]uint64, n)
 	for i := range c.aID {
 		c.aID[i] = r.uvarint()
@@ -524,10 +852,19 @@ func decodeColumns(data []byte) (*Columns, error) {
 	if r.err == nil && len(r.buf) < n {
 		r.fail()
 	}
-	c.aCat = make([]uint8, n)
 	if r.err == nil {
-		copy(c.aCat, r.buf[:n])
+		if alias {
+			// The category column is stored as raw bytes, so over a mapped
+			// snapshot it can alias the file instead of being copied; the
+			// columns pin the mapping (Columns.mmap).
+			c.aCat = r.buf[:n:n]
+		} else {
+			c.aCat = make([]uint8, n)
+			copy(c.aCat, r.buf[:n])
+		}
 		r.buf = r.buf[n:]
+	} else {
+		c.aCat = make([]uint8, n)
 	}
 	c.aTgt = make([]int32, n)
 	for i := range c.aTgt {
@@ -538,7 +875,7 @@ func decodeColumns(data []byte) (*Columns, error) {
 		c.aTgt[i] = int32(v)
 	}
 	c.aStart = make([]int64, n)
-	prev = 0
+	prev := int64(0)
 	for i := range c.aStart {
 		if i == 0 {
 			prev = r.varint()
@@ -588,11 +925,24 @@ func decodeColumns(data []byte) (*Columns, error) {
 	if r.err == nil && off != int64(nRefs) {
 		r.failf("attack spans cover %d references, header declares %d", off, nRefs)
 	}
+	return nRefs
+}
 
+func parseDense(r *snapReader, c *Columns, nRefs, nb int) {
+	r.section = snapSectionName[secDense]
 	nDense := r.count(2)
 	ips := make([]netip.Addr, nDense)
 	for i := range ips {
 		ips[i] = r.addr()
+	}
+	// Every reference costs at least 1 byte in the refs column, which
+	// bounds the allocation below even though nRefs was declared back in
+	// the attacks section.
+	if r.err == nil && uint64(nRefs) > uint64(len(r.buf)) {
+		r.fail()
+	}
+	if r.err != nil {
+		return
 	}
 	refs := make([]int32, nRefs)
 	nextID := int32(0)
@@ -637,18 +987,8 @@ func decodeColumns(data []byte) (*Columns, error) {
 		}
 		rec[i] = int32(v - 1)
 	}
-
 	if r.err != nil {
-		return nil, r.err
-	}
-	if len(r.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(r.buf))
-	}
-
-	c.refIPs = make([]netip.Addr, nRefs)
-	for i, id := range refs {
-		c.refIPs[i] = ips[id]
+		return
 	}
 	c.dense = &denseBots{ips: ips, refs: refs, rec: rec}
-	return c, nil
 }

@@ -2,7 +2,10 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -317,62 +320,82 @@ func snapshotSeedCorpus(t testing.TB) []snapshotSeed {
 	}
 	validOne := EncodeSnapshot(one)
 
-	// danglingStrID: a frame whose first botnet family id points past the
-	// string table.
+	// danglingStrID: a v2 frame sequence whose first botnet family id
+	// points past the string table.
 	dangling := func() []byte {
-		w := &snapWriter{}
-		w.buf = append(w.buf, snapMagic...)
-		w.uvarint(snapVersion)
-		w.uvarint(1) // one string
-		w.str("")
-		w.uvarint(0) // no targets
-		w.uvarint(1) // one botnet
-		w.uvarint(7) // id
-		w.uvarint(5) // family id 5: out of range
-		w.uvarint(0)
-		w.addr(netip.Addr{})
-		w.varint(0)
-		w.varint(0)
-		return w.buf
+		buf := []byte(snapMagic)
+		buf = append(buf, snapVersion)
+		buf = append(buf, v2Section(secStrings, func(w *snapWriter) {
+			w.uvarint(1) // one string
+			w.str("")
+		})...)
+		buf = append(buf, v2Section(secTargets, func(w *snapWriter) {
+			w.uvarint(0) // no targets
+		})...)
+		buf = append(buf, v2Section(secBotnets, func(w *snapWriter) {
+			w.uvarint(1) // one botnet
+			w.uvarint(7) // id
+			w.uvarint(5) // family id 5: out of range
+			w.uvarint(0)
+			w.addr(netip.Addr{})
+			w.varint(0)
+			w.varint(0)
+		})...)
+		return buf
 	}()
 
-	// danglingDenseRef: a valid-prefix frame whose dense ref indexes past
-	// the dense table. Built by taking the one-attack snapshot and
-	// rewriting its final section by hand.
+	// danglingDenseRef: a valid-prefix v2 frame sequence whose dense ref
+	// indexes past the dense table.
 	danglingDense := func() []byte {
-		w := &snapWriter{}
-		w.buf = append(w.buf, snapMagic...)
-		w.uvarint(snapVersion)
-		w.uvarint(4)
-		for _, s := range []string{"", "nitol", "US", "X"} {
-			w.str(s)
-		}
-		w.uvarint(1)
-		w.addr(netip.MustParseAddr("192.0.2.9"))
-		w.uvarint(0) // no botnets
-		w.uvarint(0) // no bots
-		w.uvarint(1) // one attack
-		w.uvarint(1) // one ref
-		w.uvarint(1) // id
-		w.uvarint(1) // botnet
-		w.uvarint(1) // family
-		w.buf = append(w.buf, byte(CategoryTCP))
-		w.uvarint(0) // target
-		w.varint(time.Date(2012, 10, 1, 0, 0, 0, 0, time.UTC).UnixNano())
-		w.uvarint(uint64(30 * time.Minute))
-		w.varint(0)  // asn
-		w.uvarint(2) // cc
-		w.uvarint(3) // city
-		w.uvarint(0) // org
-		w.f64(1)
-		w.f64(2)
-		w.uvarint(1) // span length
-		w.uvarint(1) // one dense id
-		w.addr(netip.MustParseAddr("198.51.100.77"))
-		w.uvarint(9) // ref -> dense id 9: out of range
-		w.uvarint(0) // rec
-		return w.buf
+		buf := []byte(snapMagic)
+		buf = append(buf, snapVersion)
+		buf = append(buf, v2Section(secStrings, func(w *snapWriter) {
+			w.uvarint(4)
+			for _, s := range []string{"", "nitol", "US", "X"} {
+				w.str(s)
+			}
+		})...)
+		buf = append(buf, v2Section(secTargets, func(w *snapWriter) {
+			w.uvarint(1)
+			w.addr(netip.MustParseAddr("192.0.2.9"))
+		})...)
+		buf = append(buf, v2Section(secBotnets, func(w *snapWriter) {
+			w.uvarint(0) // no botnets
+		})...)
+		buf = append(buf, v2Section(secBots, func(w *snapWriter) {
+			w.uvarint(0) // no bots
+		})...)
+		buf = append(buf, v2Section(secAttacks, func(w *snapWriter) {
+			w.uvarint(1) // one attack
+			w.uvarint(1) // one ref
+			w.uvarint(1) // id
+			w.uvarint(1) // botnet
+			w.uvarint(1) // family
+			w.buf = append(w.buf, byte(CategoryTCP))
+			w.uvarint(0) // target
+			w.varint(time.Date(2012, 10, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+			w.uvarint(uint64(30 * time.Minute))
+			w.varint(0)  // asn
+			w.uvarint(2) // cc
+			w.uvarint(3) // city
+			w.uvarint(0) // org
+			w.f64(1)
+			w.f64(2)
+			w.uvarint(1) // span length
+		})...)
+		buf = append(buf, v2Section(secDense, func(w *snapWriter) {
+			w.uvarint(1) // one dense id
+			w.addr(netip.MustParseAddr("198.51.100.77"))
+			w.uvarint(9) // ref -> dense id 9: out of range
+			w.uvarint(0) // rec
+		})...)
+		return buf
 	}()
+
+	// crcMismatch: a valid snapshot with one payload byte flipped, so the
+	// strings section checksum no longer matches.
+	crcMismatch := append([]byte{}, validOne...)
+	crcMismatch[len(snapMagic)+1+13] ^= 0xFF
 
 	overlong := append([]byte(snapMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
 	badVersion := append([]byte(snapMagic), 0x63)
@@ -382,6 +405,7 @@ func snapshotSeedCorpus(t testing.TB) []snapshotSeed {
 		{"valid", valid},
 		{"valid-empty", validEmpty},
 		{"valid-one-attack", validOne},
+		{"valid-v1", encodeSnapshotV1(snapFixtureStore(t))},
 		{"empty-input", []byte{}},
 		{"bad-magic", []byte("BSCXjunkjunk")},
 		{"bad-version", badVersion},
@@ -391,7 +415,153 @@ func snapshotSeedCorpus(t testing.TB) []snapshotSeed {
 		{"huge-count", hugeCount},
 		{"dangling-string-id", dangling},
 		{"dangling-dense-ref", danglingDense},
+		{"crc-mismatch", crcMismatch},
 		{"trailing-garbage", append(append([]byte{}, validOne...), 0xAB)},
+	}
+}
+
+// v2Section frames one section payload the way EncodeSnapshot does:
+// id byte, payload length, CRC-32C, payload.
+func v2Section(id byte, build func(w *snapWriter)) []byte {
+	w := &snapWriter{}
+	build(w)
+	hdr := make([]byte, 13)
+	hdr[0] = id
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(w.buf)))
+	binary.BigEndian.PutUint32(hdr[9:13], crc32.Checksum(w.buf, castagnoli))
+	return append(hdr, w.buf...)
+}
+
+// encodeSnapshotV1 emits the legacy flat layout — the same six section
+// payloads with no frame headers — for backward-compatibility tests.
+func encodeSnapshotV1(s *Store) []byte {
+	c := s.Cols()
+	d := s.denseBots()
+	w := &snapWriter{}
+	w.buf = append(w.buf, snapMagic...)
+	w.uvarint(snapVersionV1)
+	encStrings(w, c)
+	encTargets(w, c)
+	encBotnets(w, c)
+	encBots(w, c)
+	encAttacks(w, c)
+	encDense(w, d)
+	return w.buf
+}
+
+// TestSnapshotV1Compat pins that the legacy v1 flat layout still decodes
+// to the identical store, and that re-encoding it upgrades to the current
+// framed format.
+func TestSnapshotV1Compat(t *testing.T) {
+	s := snapFixtureStore(t)
+	got, err := DecodeSnapshot(encodeSnapshotV1(s))
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	if got.SnapshotInfo().Version != snapVersionV1 {
+		t.Fatalf("v1 decode reports version %d", got.SnapshotInfo().Version)
+	}
+	if !bytes.Equal(csvBytes(t, s), csvBytes(t, got)) {
+		t.Fatalf("attack records differ after v1 decode")
+	}
+	if got.Summary() != s.Summary() {
+		t.Fatalf("summary differs after v1 decode")
+	}
+	if !bytes.Equal(EncodeSnapshot(got), EncodeSnapshot(s)) {
+		t.Fatalf("re-encode of a v1-loaded store is not byte-identical to the v2 encode")
+	}
+}
+
+// TestSnapshotTruncatedTyped pins the typed decode error: every
+// truncation reports ErrSnapshotTruncated, and once the header survives,
+// a *SnapshotError naming the section being parsed with an offset inside
+// the truncated input.
+func TestSnapshotTruncatedTyped(t *testing.T) {
+	valid := EncodeSnapshot(snapFixtureStore(t))
+
+	// Recover each section's frame bounds from the encoded headers.
+	type frameSpan struct {
+		name         string
+		hdr, payload int // offsets of the header and payload start
+		plen         int
+	}
+	var frames []frameSpan
+	off := len(snapMagic) + 1
+	for sec := byte(secStrings); sec <= secDense; sec++ {
+		plen := int(binary.BigEndian.Uint64(valid[off+1 : off+9]))
+		frames = append(frames, frameSpan{snapSectionName[sec], off, off + 13, plen})
+		off += 13 + plen
+	}
+	if off != len(valid) {
+		t.Fatalf("frame walk covered %d of %d bytes", off, len(valid))
+	}
+
+	cases := []struct {
+		name    string
+		cut     int
+		section string // "" = no SnapshotError expected (bare sentinel)
+	}{
+		{"mid-magic", 2, ""},
+		{"magic-only", len(snapMagic), "header"},
+	}
+	for _, f := range frames {
+		cases = append(cases,
+			struct {
+				name    string
+				cut     int
+				section string
+			}{f.name + "-mid-header", f.hdr + 5, f.name},
+			struct {
+				name    string
+				cut     int
+				section string
+			}{f.name + "-mid-payload", f.payload + f.plen/2, f.name},
+		)
+	}
+	for _, tc := range cases {
+		_, err := DecodeSnapshot(valid[:tc.cut])
+		if err == nil {
+			t.Fatalf("%s: truncation at %d accepted", tc.name, tc.cut)
+		}
+		if !errors.Is(err, ErrSnapshotTruncated) {
+			t.Fatalf("%s: error %v is not ErrSnapshotTruncated", tc.name, err)
+		}
+		if tc.section == "" {
+			continue
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: error %v carries no *SnapshotError", tc.name, err)
+		}
+		if se.Section != tc.section {
+			t.Fatalf("%s: error names section %q, want %q", tc.name, se.Section, tc.section)
+		}
+		if se.Offset < 0 || se.Offset > int64(tc.cut) {
+			t.Fatalf("%s: offset %d outside truncated input (%d bytes)", tc.name, se.Offset, tc.cut)
+		}
+	}
+}
+
+// TestSnapshotChecksumTyped pins that a payload bit flip is caught by the
+// section CRC and reported as a corrupt-snapshot error naming the
+// section.
+func TestSnapshotChecksumTyped(t *testing.T) {
+	valid := EncodeSnapshot(snapFixtureStore(t))
+	bad := append([]byte{}, valid...)
+	bad[len(snapMagic)+1+13] ^= 0xFF // first byte of the strings payload
+	_, err := DecodeSnapshot(bad)
+	if err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("error %v is not ErrSnapshotCorrupt", err)
+	}
+	var se *SnapshotError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v carries no *SnapshotError", err)
+	}
+	if se.Section != "strings" {
+		t.Fatalf("error names section %q, want strings", se.Section)
 	}
 }
 

@@ -1,12 +1,14 @@
 package dataset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"net/netip"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"botscope/internal/par"
@@ -28,12 +30,21 @@ import (
 // sync.Once and is immutable afterwards, so returning the shared slice to
 // concurrent readers is safe.
 type Store struct {
-	attacks  []*Attack // sorted by (Start, ID)
+	// fromSnapshot discriminates the store's two construction paths. It
+	// is set before the store is published and immutable after: false
+	// means NewStore built the record views eagerly (and cols is lazy),
+	// true means the snapshot decoder set cols eagerly and the record
+	// views below are materialized on demand inside recOnce.
+	fromSnapshot bool
+	recOnce      sync.Once
+	recBuilt     atomic.Bool // set at the end of materializeRecords (always true on the record path)
+
+	attacks  []*Attack // sorted by (Start, ID); lazy on the snapshot path (recOnce)
 	byFamily map[Family][]*Attack
 	byTarget map[netip.Addr][]*Attack
 	byBotnet map[BotnetID][]*Attack
 
-	botnetList []*Botnet // Botnetlist input order
+	botnetList []*Botnet // Botnetlist input order; lazy on the snapshot path (recOnce)
 	botnets    map[BotnetID]*Botnet
 	botList    []*Bot // deduplicated by IP, first-occurrence order, last record wins
 
@@ -50,6 +61,43 @@ type Store struct {
 	targets      []netip.Addr // written once inside tgtOnce.Do; immutable after
 	botOnce      sync.Once
 	botIdx       *BotIndex // written once inside botOnce.Do; immutable after
+
+	famRowsOnce sync.Once
+	famRows     map[Family][]int32 // family -> ascending attack rows; written once inside famRowsOnce.Do
+
+	tgtRowsOnce sync.Once
+	tgtRows     [][]int32 // target id -> ascending attack rows; written once inside tgtRowsOnce.Do
+	tgtOrder    []int32   // target ids in ascending address order; written once inside tgtRowsOnce.Do
+
+	recRowsOnce sync.Once
+	recRows     []atomic.Pointer[Attack] // per-row record memo (snapshot path, pre-materialization)
+
+	nbOnce         sync.Once
+	nAttackBotnets int // distinct botnet ids across attacks; written once inside nbOnce.Do
+
+	boundsOnce     sync.Once
+	firstT, lastT  time.Time // written once inside boundsOnce.Do (snapshot path only)
+	haveTimeBounds bool
+
+	snapInfo SnapshotInfo // how the snapshot path loaded this store; zero on the record path
+}
+
+// records materializes the pointer-rich record views of a snapshot-
+// backed store on first use. On the record path (NewStore) it is a
+// no-op: the records are the construction input.
+func (s *Store) records() {
+	if s.fromSnapshot {
+		s.recOnce.Do(s.materializeRecords)
+	}
+}
+
+// RecordsMaterialized reports whether the record views (Attacks,
+// ByFamily, Bot, ...) exist. A store built by NewStore always has them;
+// a snapshot-loaded store only after some caller touched the record
+// face. The column-native analysis kernels keep it false for a full
+// report run.
+func (s *Store) RecordsMaterialized() bool {
+	return !s.fromSnapshot || s.recBuilt.Load()
 }
 
 // FamilyCount pairs a family with its attack count, ordered by family.
@@ -124,6 +172,7 @@ func NewStore(attacks []*Attack, botnets []*Botnet, bots []*Bot) (*Store, error)
 		s.botList = append(s.botList, b)
 	}
 	s.botRows = rows
+	s.recBuilt.Store(true)
 	return s, nil
 }
 
@@ -190,40 +239,59 @@ func (s *Store) botRowsMap() map[netip.Addr]int32 {
 }
 
 // NumAttacks returns the number of attack records.
-func (s *Store) NumAttacks() int { return len(s.attacks) }
+func (s *Store) NumAttacks() int {
+	if s.fromSnapshot {
+		return len(s.cols.aID)
+	}
+	return len(s.attacks)
+}
 
 // Attacks returns all attacks ordered by start time. The slice is shared
 // and must not be modified; records themselves are shared too.
 //
 //botscope:shared
-func (s *Store) Attacks() []*Attack { return s.attacks }
+func (s *Store) Attacks() []*Attack {
+	s.records()
+	return s.attacks
+}
 
 // ByFamily returns the family's attacks in start-time order. The slice
 // is the shared index bucket and must not be modified.
 //
 //botscope:shared
-func (s *Store) ByFamily(f Family) []*Attack { return s.byFamily[f] }
+func (s *Store) ByFamily(f Family) []*Attack {
+	s.records()
+	return s.byFamily[f]
+}
 
 // ByTarget returns all attacks against one target IP in start-time
 // order. The slice is the shared index bucket and must not be modified.
 //
 //botscope:shared
-func (s *Store) ByTarget(ip netip.Addr) []*Attack { return s.byTarget[ip] }
+func (s *Store) ByTarget(ip netip.Addr) []*Attack {
+	s.records()
+	return s.byTarget[ip]
+}
 
 // ByBotnet returns all attacks launched by one botnet in start-time
 // order. The slice is the shared index bucket and must not be modified.
 //
 //botscope:shared
-func (s *Store) ByBotnet(id BotnetID) []*Attack { return s.byBotnet[id] }
+func (s *Store) ByBotnet(id BotnetID) []*Attack {
+	s.records()
+	return s.byBotnet[id]
+}
 
 // Botnet resolves a botnet record.
 func (s *Store) Botnet(id BotnetID) (*Botnet, bool) {
+	s.records()
 	b, ok := s.botnets[id]
 	return b, ok
 }
 
 // Bot resolves a bot record by IP.
 func (s *Store) Bot(ip netip.Addr) (*Bot, bool) {
+	s.records()
 	row, ok := s.botRowsMap()[ip]
 	if !ok {
 		return nil, false
@@ -232,10 +300,20 @@ func (s *Store) Bot(ip netip.Addr) (*Bot, bool) {
 }
 
 // NumBots returns the number of Botlist records.
-func (s *Store) NumBots() int { return len(s.botList) }
+func (s *Store) NumBots() int {
+	if s.fromSnapshot {
+		return len(s.cols.bIP)
+	}
+	return len(s.botList)
+}
 
 // NumBotnets returns the number of Botnetlist records.
-func (s *Store) NumBotnets() int { return len(s.botnetList) }
+func (s *Store) NumBotnets() int {
+	if s.fromSnapshot {
+		return len(s.cols.nID)
+	}
+	return len(s.botnetList)
+}
 
 // Families returns every family that launched at least one attack,
 // sorted. The slice is computed once and shared: callers must not modify
@@ -258,6 +336,21 @@ func (s *Store) FamilyCounts() []FamilyCount {
 }
 
 func (s *Store) buildFamilies() {
+	if s.fromSnapshot {
+		rows := s.famRowsMap()
+		fams := make([]Family, 0, len(rows))
+		for f := range rows {
+			fams = append(fams, f)
+		}
+		sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+		counts := make([]FamilyCount, len(fams))
+		for i, f := range fams {
+			counts[i] = FamilyCount{Family: f, Attacks: len(rows[f])}
+		}
+		s.families = fams
+		s.familyCounts = counts
+		return
+	}
 	fams := make([]Family, 0, len(s.byFamily))
 	for f := range s.byFamily {
 		fams = append(fams, f)
@@ -271,12 +364,57 @@ func (s *Store) buildFamilies() {
 	s.familyCounts = counts
 }
 
+// famRowsMap returns the family -> ascending-attack-row index over the
+// columns, building it once. One counting pass sizes each bucket and one
+// fill pass places every row in a shared arena, so the buckets are
+// contiguous and the rows within each family stay in (start, id) order.
+func (s *Store) famRowsMap() map[Family][]int32 {
+	s.famRowsOnce.Do(func() {
+		c := s.Cols()
+		nStr := len(c.strs)
+		counts := make([]int32, nStr)
+		for _, f := range c.aFam {
+			counts[f]++
+		}
+		offs := make([]int32, nStr+1) // string id -> arena start
+		for i, cnt := range counts {
+			offs[i+1] = offs[i] + cnt
+		}
+		arena := make([]int32, len(c.aFam))
+		next := counts // reuse: counts[f] becomes the next write position
+		copy(next, offs[:nStr])
+		for i, f := range c.aFam {
+			arena[next[f]] = int32(i)
+			next[f]++
+		}
+		rows := make(map[Family][]int32, 64)
+		for f := 0; f < nStr; f++ {
+			lo, hi := offs[f], offs[f+1]
+			if lo == hi {
+				continue
+			}
+			rows[Family(c.strs[f])] = arena[lo:hi:hi]
+		}
+		s.famRows = rows
+	})
+	return s.famRows
+}
+
 // Targets returns every attacked IP, sorted. The slice is computed once
 // and shared: callers must not modify it.
 //
 //botscope:shared
 func (s *Store) Targets() []netip.Addr {
 	s.tgtOnce.Do(func() {
+		if s.fromSnapshot {
+			c := s.cols
+			out := make([]netip.Addr, 0, len(c.targets))
+			for _, tid := range s.targetIDs() {
+				out = append(out, c.targets[tid])
+			}
+			s.targets = out
+			return
+		}
 		out := make([]netip.Addr, 0, len(s.byTarget))
 		for ip := range s.byTarget {
 			out = append(out, ip)
@@ -288,7 +426,135 @@ func (s *Store) Targets() []netip.Addr {
 }
 
 // NumTargets returns the number of distinct attacked IPs.
-func (s *Store) NumTargets() int { return len(s.byTarget) }
+func (s *Store) NumTargets() int {
+	if s.fromSnapshot {
+		return len(s.cols.targets)
+	}
+	return len(s.byTarget)
+}
+
+// targetIDs returns the column target ids in ascending address order —
+// aligned index-for-index with Targets() on the snapshot path — building
+// the per-target row index as a byproduct.
+//
+//botscope:shared
+func (s *Store) targetIDs() []int32 {
+	s.buildTargetRows()
+	return s.tgtOrder
+}
+
+// TargetRows returns the ascending attack rows against one column target
+// id. The slice is a shared arena bucket and must not be modified.
+//
+//botscope:shared
+func (s *Store) TargetRows(tid int32) []int32 {
+	s.buildTargetRows()
+	return s.tgtRows[tid]
+}
+
+// TargetIDs returns every column target id, ordered by target address
+// (so index i here corresponds to Targets()[i] on the snapshot path).
+// The slice is shared and must not be modified.
+//
+//botscope:shared
+func (s *Store) TargetIDs() []int32 { return s.targetIDs() }
+
+// buildTargetRows buckets attack rows by target id in one counting pass
+// and one fill pass over a shared arena, and sorts the target ids by
+// address so column-native target scans visit targets in the same order
+// as the record-face Targets() loop.
+func (s *Store) buildTargetRows() {
+	s.tgtRowsOnce.Do(func() {
+		c := s.Cols()
+		nt := len(c.targets)
+		counts := make([]int32, nt)
+		for _, tid := range c.aTgt {
+			counts[tid]++
+		}
+		offs := make([]int32, nt+1)
+		for i, cnt := range counts {
+			offs[i+1] = offs[i] + cnt
+		}
+		arena := make([]int32, len(c.aTgt))
+		next := counts // reuse: counts[tid] becomes the next write position
+		copy(next, offs[:nt])
+		for i, tid := range c.aTgt {
+			arena[next[tid]] = int32(i)
+			next[tid]++
+		}
+		rows := make([][]int32, nt)
+		for tid := 0; tid < nt; tid++ {
+			lo, hi := offs[tid], offs[tid+1]
+			rows[tid] = arena[lo:hi:hi]
+		}
+		order := make([]int32, nt)
+		for i := range order {
+			order[i] = int32(i)
+		}
+		zoned := false
+		for _, a := range c.targets {
+			if a.Zone() != "" {
+				zoned = true
+				break
+			}
+		}
+		if zoned {
+			sort.Slice(order, func(i, j int) bool {
+				return c.targets[order[i]].Less(c.targets[order[j]])
+			})
+		} else {
+			// Zone-free addresses (every synth and snapshot workload)
+			// order exactly like netip.Addr.Compare: bit length first,
+			// then the 128-bit value — which As16 exposes big-endian. The
+			// integer keys make the comparator a few register compares
+			// instead of Addr.Less calls.
+			hi := make([]uint64, nt)
+			lo := make([]uint64, nt)
+			bl := make([]uint8, nt)
+			for i, a := range c.targets {
+				b := a.As16()
+				hi[i] = binary.BigEndian.Uint64(b[:8])
+				lo[i] = binary.BigEndian.Uint64(b[8:])
+				bl[i] = uint8(a.BitLen())
+			}
+			sort.Slice(order, func(i, j int) bool {
+				a, b := order[i], order[j]
+				if bl[a] != bl[b] {
+					return bl[a] < bl[b]
+				}
+				if hi[a] != hi[b] {
+					return hi[a] < hi[b]
+				}
+				return lo[a] < lo[b]
+			})
+		}
+		s.tgtRows = rows
+		s.tgtOrder = order
+	})
+}
+
+// TargetAddr resolves a column target id to its address.
+func (s *Store) TargetAddr(tid int32) netip.Addr { return s.Cols().targets[tid] }
+
+// RowsByFamily returns the ascending attack rows of one family. The
+// slice is a shared arena bucket and must not be modified.
+//
+//botscope:shared
+func (s *Store) RowsByFamily(f Family) []int32 { return s.famRowsMap()[f] }
+
+// attackBotnets counts the distinct botnet ids that appear across
+// attacks (which may be fewer than the Botnetlist rows), memoized.
+func (s *Store) attackBotnets() int {
+	s.nbOnce.Do(func() {
+		c := s.Cols()
+		seen := make(map[uint32]struct{}, 256)
+		for _, id := range c.aBotnet {
+			seen[id] = struct{}{}
+		}
+		s.nAttackBotnets = len(seen)
+	})
+	return s.nAttackBotnets
+}
 
 // InRange returns attacks with Start in [from, to), using the start-time
 // ordering for a binary-searched slice rather than a scan. The result
@@ -296,6 +562,7 @@ func (s *Store) NumTargets() int { return len(s.byTarget) }
 //
 //botscope:shared
 func (s *Store) InRange(from, to time.Time) []*Attack {
+	s.records()
 	lo := sort.Search(len(s.attacks), func(i int) bool {
 		return !s.attacks[i].Start.Before(from)
 	})
@@ -305,9 +572,36 @@ func (s *Store) InRange(from, to time.Time) []*Attack {
 	return s.attacks[lo:hi]
 }
 
+// RowsInRange returns the half-open attack row range [lo, hi) whose
+// starts fall in [from, to), using the column start ordering.
+func (s *Store) RowsInRange(from, to time.Time) (lo, hi int) {
+	c := s.Cols()
+	fromNS, toNS := from.UnixNano(), to.UnixNano()
+	lo = sort.Search(len(c.aStart), func(i int) bool { return c.aStart[i] >= fromNS })
+	hi = sort.Search(len(c.aStart), func(i int) bool { return c.aStart[i] >= toNS })
+	return lo, hi
+}
+
 // TimeBounds returns the earliest start and the latest end across all
 // attacks. ok is false for an empty store.
 func (s *Store) TimeBounds() (first, last time.Time, ok bool) {
+	if s.fromSnapshot {
+		s.boundsOnce.Do(func() {
+			c := s.cols
+			if len(c.aStart) == 0 {
+				return
+			}
+			maxEnd := c.aEnd[0]
+			for _, e := range c.aEnd[1:] {
+				if e > maxEnd {
+					maxEnd = e
+				}
+			}
+			s.firstT, s.lastT = nanoTime(c.aStart[0]), nanoTime(maxEnd)
+			s.haveTimeBounds = true
+		})
+		return s.firstT, s.lastT, s.haveTimeBounds
+	}
 	if len(s.attacks) == 0 {
 		return time.Time{}, time.Time{}, false
 	}
@@ -318,6 +612,127 @@ func (s *Store) TimeBounds() (first, last time.Time, ok bool) {
 		}
 	}
 	return first, last, true
+}
+
+// AttackRecordAt returns the attack record for one column row. When the
+// record face is already materialized it returns the shared record;
+// otherwise it builds a fresh, caller-owned record (including a fresh
+// BotIPs slice expanded from the dense layer) without triggering full
+// materialization — detection kernels use it to realize only the few
+// rows that qualify for an event.
+func (s *Store) AttackRecordAt(row int) *Attack {
+	if s.RecordsMaterialized() {
+		return s.attacks[row]
+	}
+	// Per-row memo: detectors that revisit the same rows (the collab
+	// phases run detection twice, Table VI a third time) build each
+	// record at most once. Slots are CAS-published — concurrent builders
+	// of one row produce identical records, and the first one wins.
+	s.recRowsOnce.Do(func() {
+		s.recRows = make([]atomic.Pointer[Attack], len(s.cols.aID))
+	})
+	if a := s.recRows[row].Load(); a != nil {
+		return a
+	}
+	c := s.cols
+	d := s.denseBots()
+	lo, hi := c.aOff[row], c.aOff[row+1]
+	ips := make([]netip.Addr, hi-lo)
+	for i, id := range d.refs[lo:hi] {
+		ips[i] = d.ips[id]
+	}
+	a := &Attack{
+		ID:            DDoSID(c.aID[row]),
+		BotnetID:      BotnetID(c.aBotnet[row]),
+		Family:        Family(c.strs[c.aFam[row]]),
+		Category:      Category(c.aCat[row]),
+		TargetIP:      c.targets[c.aTgt[row]],
+		Start:         nanoTime(c.aStart[row]),
+		End:           nanoTime(c.aEnd[row]),
+		BotIPs:        ips,
+		TargetASN:     int(c.aASN[row]),
+		TargetCountry: c.strs[c.aCC[row]],
+		TargetCity:    c.strs[c.aCity[row]],
+		TargetOrg:     c.strs[c.aOrg[row]],
+		TargetLat:     c.aLat[row],
+		TargetLon:     c.aLon[row],
+	}
+	if !s.recRows[row].CompareAndSwap(nil, a) {
+		return s.recRows[row].Load()
+	}
+	return a
+}
+
+// AttackRecords materializes the records of a batch of attack rows,
+// sharing one record arena and one BotIPs arena across the batch instead
+// of allocating per member. Rows already memoized (or a materialized
+// record view) reuse their records; the rest are built and CAS-published
+// exactly like AttackRecordAt. Detectors that emit record-rich results
+// from a lazy store (collaboration subsets) use this to keep per-member
+// allocation off the detection path.
+func (s *Store) AttackRecords(rows []int32) []*Attack {
+	out := make([]*Attack, len(rows))
+	if s.RecordsMaterialized() {
+		for i, row := range rows {
+			out[i] = s.attacks[row]
+		}
+		return out
+	}
+	s.recRowsOnce.Do(func() {
+		s.recRows = make([]atomic.Pointer[Attack], len(s.cols.aID))
+	})
+	c := s.cols
+	need, refs := 0, 0
+	for i, row := range rows {
+		if a := s.recRows[row].Load(); a != nil {
+			out[i] = a
+			continue
+		}
+		need++
+		refs += int(c.aOff[row+1] - c.aOff[row])
+	}
+	if need == 0 {
+		return out
+	}
+	d := s.denseBots()
+	arena := make([]Attack, need)
+	ipsArena := make([]netip.Addr, refs)
+	k, off := 0, 0
+	for i, row := range rows {
+		if out[i] != nil {
+			continue
+		}
+		lo, hi := c.aOff[row], c.aOff[row+1]
+		n := int(hi - lo)
+		ips := ipsArena[off : off+n : off+n]
+		off += n
+		for j, id := range d.refs[lo:hi] {
+			ips[j] = d.ips[id]
+		}
+		a := &arena[k]
+		k++
+		*a = Attack{
+			ID:            DDoSID(c.aID[row]),
+			BotnetID:      BotnetID(c.aBotnet[row]),
+			Family:        Family(c.strs[c.aFam[row]]),
+			Category:      Category(c.aCat[row]),
+			TargetIP:      c.targets[c.aTgt[row]],
+			Start:         nanoTime(c.aStart[row]),
+			End:           nanoTime(c.aEnd[row]),
+			BotIPs:        ips,
+			TargetASN:     int(c.aASN[row]),
+			TargetCountry: c.strs[c.aCC[row]],
+			TargetCity:    c.strs[c.aCity[row]],
+			TargetOrg:     c.strs[c.aOrg[row]],
+			TargetLat:     c.aLat[row],
+			TargetLon:     c.aLon[row],
+		}
+		if !s.recRows[row].CompareAndSwap(nil, a) {
+			a = s.recRows[row].Load()
+		}
+		out[i] = a
+	}
+	return out
 }
 
 // SummaryCounts mirrors the paper's Table III: distinct entities on the
@@ -492,15 +907,15 @@ func (s *Store) SummaryWorkers(workers int) SummaryCounts {
 		src.merge(sh)
 	}
 	return SummaryCounts{
-		Attacks:         len(s.attacks),
-		Botnets:         len(s.byBotnet),
+		Attacks:         len(c.aID),
+		Botnets:         s.attackBotnets(),
 		TrafficTypes:    bits.OnesCount32(tgt.catBits),
 		BotIPs:          len(d.ips),
 		SourceCountries: countStamps(src.cc),
 		SourceCities:    len(src.cities),
 		SourceOrgs:      countStamps(src.org),
 		SourceASNs:      len(src.asns),
-		TargetIPs:       len(s.byTarget),
+		TargetIPs:       len(c.targets),
 		TargetCountries: countStamps(tgt.cc),
 		TargetCities:    len(tgt.cities),
 		TargetOrgs:      countStamps(tgt.org),

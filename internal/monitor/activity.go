@@ -37,38 +37,41 @@ func (b BotnetActivity) Lifetime() time.Duration {
 // ordered by attack count descending. The error is non-nil when the
 // family launched nothing.
 func (c *Collector) BotnetActivities(family dataset.Family) ([]BotnetActivity, error) {
-	attacks := c.store.ByFamily(family)
-	if len(attacks) == 0 {
+	rows := c.store.RowsByFamily(family)
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("monitor: family %s has no attacks", family)
 	}
 	acc := make(map[dataset.BotnetID]*BotnetActivity)
 	targets := make(map[dataset.BotnetID]map[string]bool)
-	for _, a := range attacks {
-		act := acc[a.BotnetID]
+	for _, row := range rows {
+		v := c.store.AttackAt(int(row))
+		id := v.BotnetID()
+		start := v.Start()
+		act := acc[id]
 		if act == nil {
 			act = &BotnetActivity{
-				ID:          a.BotnetID,
+				ID:          id,
 				Family:      family,
-				FirstAttack: a.Start,
-				LastAttack:  a.Start,
+				FirstAttack: start,
+				LastAttack:  start,
 			}
-			if rec, ok := c.store.Botnet(a.BotnetID); ok {
-				act.Hash = rec.Hash
+			if rec, ok := c.store.BotnetByID(id); ok {
+				act.Hash = rec.Hash()
 			}
-			acc[a.BotnetID] = act
-			targets[a.BotnetID] = make(map[string]bool)
+			acc[id] = act
+			targets[id] = make(map[string]bool)
 		}
 		act.Attacks++
-		if a.Start.Before(act.FirstAttack) {
-			act.FirstAttack = a.Start
+		if start.Before(act.FirstAttack) {
+			act.FirstAttack = start
 		}
-		if a.Start.After(act.LastAttack) {
-			act.LastAttack = a.Start
+		if start.After(act.LastAttack) {
+			act.LastAttack = start
 		}
-		if m := a.Magnitude(); m > act.PeakMagnitude {
+		if m := v.Magnitude(); m > act.PeakMagnitude {
 			act.PeakMagnitude = m
 		}
-		targets[a.BotnetID][a.TargetIP.String()] = true
+		targets[id][v.TargetIP().String()] = true
 	}
 	out := make([]BotnetActivity, 0, len(acc))
 	for id, act := range acc {

@@ -51,8 +51,8 @@ func (c *Collector) HourlyReports(family dataset.Family) ([]HourlyReport, error)
 	if !ok {
 		return nil, fmt.Errorf("monitor: empty workload")
 	}
-	attacks := c.store.ByFamily(family)
-	if len(attacks) == 0 {
+	rows := c.store.RowsByFamily(family)
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("monitor: family %s has no attacks", family)
 	}
 
@@ -76,21 +76,22 @@ func (c *Collector) HourlyReports(family dataset.Family) ([]HourlyReport, error)
 	}
 
 	ix := c.store.BotDense()
-	for _, a := range attacks {
+	for _, row := range rows {
+		v := c.store.AttackAt(int(row))
 		countries := make(map[string]int)
 		refs := 0
-		for _, id := range ix.Refs(a) {
+		for _, id := range ix.RefsRow(int(row)) {
 			refs++
-			if b := ix.Rec(id); b != nil {
-				countries[b.CountryCode]++
+			if ix.Resolved(id) {
+				countries[ix.CountryOf(id)]++
 			}
 		}
-		from := stepIdx(a.Start)
-		to := stepIdx(a.End.Add(c.Lookback))
+		from := stepIdx(v.Start())
+		to := stepIdx(v.End().Add(c.Lookback))
 		mergeDelta(&addDeltas[from], refs, countries)
 		mergeDelta(&subDeltas[to], refs, countries)
 		activeAdd[from]++
-		activeSub[stepIdx(a.End)]++
+		activeSub[stepIdx(v.End())]++
 	}
 
 	reports := make([]HourlyReport, 0, steps)
@@ -193,8 +194,8 @@ func (w WeekStats) NewShift() int {
 // no per-bot map writes, no per-week map allocations, and unresolved bots
 // still deduplicate without being counted, exactly as before.
 func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
-	attacks := c.store.ByFamily(family)
-	if len(attacks) == 0 {
+	rows := c.store.RowsByFamily(family)
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("monitor: family %s has no attacks", family)
 	}
 	first, _, _ := c.store.TimeBounds()
@@ -224,20 +225,20 @@ func (c *Collector) WeeklySources(family dataset.Family) ([]WeekStats, error) {
 		}
 		out = append(out, WeekStats{Week: curWeek, BotsByCountry: byCountry, NewCountries: fresh})
 	}
-	for _, a := range attacks {
-		w := weekOf(a.Start)
+	for _, row := range rows {
+		w := weekOf(c.store.AttackAt(int(row)).Start())
 		if w != curWeek {
 			flush()
 			curWeek = w
 			byCountry = make(map[string]int)
 		}
-		for _, id := range ix.Refs(a) {
+		for _, id := range ix.RefsRow(int(row)) {
 			if stamp[id] == int32(w+1) {
 				continue
 			}
 			stamp[id] = int32(w + 1)
-			if b := ix.Rec(id); b != nil {
-				byCountry[b.CountryCode]++
+			if ix.Resolved(id) {
+				byCountry[ix.CountryOf(id)]++
 			}
 		}
 	}

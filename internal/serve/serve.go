@@ -208,7 +208,7 @@ func (s *Server) handleFamilies(w http.ResponseWriter, _ *http.Request) {
 // family resolves the path's family and 404s when it launched no attacks.
 func (s *Server) family(w http.ResponseWriter, r *http.Request) (dataset.Family, bool) {
 	f := dataset.Family(r.PathValue("name"))
-	if len(s.store.ByFamily(f)) == 0 {
+	if len(s.store.RowsByFamily(f)) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Errorf("family %q has no attacks", f))
 		return "", false
 	}

@@ -45,7 +45,22 @@ func TestSnapshotRoundTripRunall(t *testing.T) {
 		t.Fatalf("reloaded store has %d botnets, want %d", got, want)
 	}
 
-	// The raw record export must survive the round trip exactly.
+	// Render the full experiment suite from both stores before touching
+	// the record face of the reloaded one: the whole run must stay on the
+	// column cursors, which is the tentpole property of the lazy load
+	// path.
+	genOut := renderAll(t, store, scale)
+	snapOut := renderAll(t, reloaded, scale)
+	if reloaded.RecordsMaterialized() {
+		t.Fatal("runall materialized the record view of the snapshot-loaded store")
+	}
+	if len(genOut) == 0 {
+		t.Fatal("runall produced no output; byte-identity check is vacuous")
+	}
+
+	// The raw record export must survive the round trip exactly; this is
+	// the first record-face touch, so it also exercises lazy
+	// materialization on a full-size store.
 	var csvGen, csvSnap bytes.Buffer
 	if err := WriteCSV(&csvGen, store.Attacks()); err != nil {
 		t.Fatalf("WriteCSV(generated): %v", err)
@@ -53,15 +68,12 @@ func TestSnapshotRoundTripRunall(t *testing.T) {
 	if err := WriteCSV(&csvSnap, reloaded.Attacks()); err != nil {
 		t.Fatalf("WriteCSV(reloaded): %v", err)
 	}
+	if !reloaded.RecordsMaterialized() {
+		t.Fatal("Attacks() did not materialize the record view")
+	}
 	if !bytes.Equal(csvGen.Bytes(), csvSnap.Bytes()) {
 		t.Fatalf("CSV export differs after snapshot round trip (%d vs %d bytes)",
 			csvGen.Len(), csvSnap.Len())
-	}
-
-	genOut := renderAll(t, store, scale)
-	snapOut := renderAll(t, reloaded, scale)
-	if len(genOut) == 0 {
-		t.Fatal("runall produced no output; byte-identity check is vacuous")
 	}
 	for id, want := range genOut {
 		got, ok := snapOut[id]
