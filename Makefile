@@ -1,10 +1,17 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet botvet botvet-json botvet-sarif botvet-timed race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream bench-trajectory load-smoke load-record snapshot-smoke report fmt fmt-check fuzz
+.PHONY: build build-cross test vet botvet botvet-json botvet-sarif botvet-timed race verify verify-race bench bench-smoke bench-allocs bench-update bench-record bench-stream bench-trajectory load-smoke load-record snapshot-smoke report fmt fmt-check fuzz
 
 build:
 	$(GO) build ./...
+
+# build-cross type-checks the non-unix build tags: the dataset package
+# carries a !unix mmap stub (mmap_other.go), and nothing may grow a
+# silent unix-only dependency outside it. Compile-only — no tests run.
+build-cross:
+	GOOS=windows $(GO) build ./...
+	GOOS=darwin $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -21,18 +28,20 @@ bin/botvet: $(BOTVET_SRC)
 	$(GO) build -o bin/botvet ./cmd/botvet
 
 # botvet runs the project-specific analyzers — the SSA tier (goleak,
-# ctxflow, wireframe) plus the invariant tier (nodeterm, lockguard,
-# snapshotalias, floateq, sharedslice, parmerge, hotalloc, rngstream) —
+# ctxflow, wireframe), the invariant tier (nodeterm, lockguard,
+# snapshotalias, floateq, sharedslice, parmerge, hotalloc, rngstream),
+# and the columnar-era tier (mmaplife, lazymat, codecsym, memodisc) —
 # over every package via go vet's -vettool hook. Exit code 0 means every
 # analyzer ran clean; 1 means diagnostics (or build failure); 2 means the
 # tool was misused.
 #
-# The run is stamp-cached: the key hashes go.mod/go.sum plus every .go
-# file, so a no-op invocation (same tool, same sources) skips the vet
-# sweep entirely. Delete bin/.botvet-clean to force a re-run.
+# The run is stamp-cached: the key hashes go.mod/go.sum, every .go file,
+# and the built botvet binary itself (so a tool rebuilt from the same
+# sources but a different toolchain re-runs). A no-op invocation skips
+# the vet sweep entirely. Delete bin/.botvet-clean to force a re-run.
 BOTVET_STAMP := bin/.botvet-clean
 botvet: bin/botvet
-	@hash=$$( { cat go.mod go.sum 2>/dev/null; find cmd examples internal vendor -name '*.go' -print0 2>/dev/null | sort -z | xargs -0 cat; } | sha256sum | cut -d' ' -f1 ); \
+	@hash=$$( { cat go.mod go.sum 2>/dev/null; cat bin/botvet; find cmd examples internal vendor -name '*.go' -print0 2>/dev/null | sort -z | xargs -0 cat; } | sha256sum | cut -d' ' -f1 ); \
 	if [ -f $(BOTVET_STAMP) ] && [ "$$(cat $(BOTVET_STAMP))" = "$$hash" ]; then \
 		echo "botvet: clean (cached, key $${hash%??????????????????????????????????????????????????})"; \
 	else \
@@ -52,11 +61,11 @@ botvet-json: bin/botvet
 botvet-sarif: bin/botvet
 	$(abspath bin/botvet) -format=sarif ./... > botvet.sarif
 
-# botvet-timed runs each SSA-tier analyzer alone and reports wall-clock,
-# so a slow interprocedural pass shows up in CI logs before it slows the
-# merge gate for everyone.
+# botvet-timed runs each SSA- and columnar-tier analyzer alone and
+# reports wall-clock, so a slow interprocedural pass shows up in CI logs
+# before it slows the merge gate for everyone.
 botvet-timed: bin/botvet
-	@for a in goleak ctxflow wireframe; do \
+	@for a in goleak ctxflow wireframe mmaplife lazymat codecsym memodisc; do \
 		start=$$(date +%s%N); \
 		$(GO) vet -vettool=$(abspath bin/botvet) -$$a ./... || exit 1; \
 		end=$$(date +%s%N); \

@@ -153,6 +153,10 @@ func WriteSnapshot(w io.Writer, s *Store) error { return dataset.WriteSnapshot(w
 // rather than a malformed workload.
 func ReadSnapshot(r io.Reader) (*Store, error) { return dataset.ReadSnapshot(r) }
 
+// ErrStoreClosed is returned by snapshot writes on a store whose mapped
+// region was released with Store.Close.
+var ErrStoreClosed = dataset.ErrStoreClosed
+
 // ErrStop, returned from a Decode* callback, stops decoding early without
 // error.
 var ErrStop = dataset.ErrStop

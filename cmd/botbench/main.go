@@ -180,6 +180,7 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	defer store.Close()
 	if err := timed("store_indexes", "first Targets()+Families() build", func() error {
 		store.Targets()
 		store.Families()

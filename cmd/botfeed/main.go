@@ -91,6 +91,7 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
+		defer store.Close()
 		// Replay through the column cursors: each row materializes one
 		// attack record on demand, so a snapshot-loaded store streams
 		// without ever building the full record arena.

@@ -63,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 		if serr != nil {
 			return serr
 		}
+		defer store.Close()
 		info := store.SnapshotInfo()
 		fmt.Fprintf(os.Stderr, "loaded snapshot %s (v%d, %d bytes, mmap=%t)\n",
 			*snapshot, info.Version, info.Bytes, info.Mapped)

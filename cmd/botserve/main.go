@@ -137,6 +137,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	defer store.Close()
 
 	srv := serve.New(store, *scale)
 	fmt.Fprintf(os.Stderr, "serving %d attacks on %s\n", store.NumAttacks(), *addr)

@@ -115,6 +115,78 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+// TestSelectionExitCodes pins the -only/-skip wrappers against a module
+// whose only finding is goleak's: selecting the analyzer keeps the exit-1
+// contract, skipping it silences the gate, and a name the gate does not
+// carry (or a selection that empties the gate) is misuse, exit 2.
+func TestSelectionExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet; skipped in -short")
+	}
+	tool := buildTool(t)
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+		wantMsg  string
+	}{
+		{name: "only-hit", args: []string{"-only=goleak", "./..."}, wantExit: 1, wantMsg: "not provably joinable"},
+		{name: "only-miss", args: []string{"-only=floateq", "./..."}, wantExit: 0},
+		{name: "skip-hit", args: []string{"-skip=goleak", "./..."}, wantExit: 0},
+		{name: "skip-miss", args: []string{"-skip=floateq", "./..."}, wantExit: 1, wantMsg: "not provably joinable"},
+		{name: "unknown", args: []string{"-only=nosuch", "./..."}, wantExit: 2, wantMsg: "unknown analyzer"},
+		{name: "empty-selection", args: []string{"-only=goleak", "-skip=goleak", "./..."}, wantExit: 2, wantMsg: "no analyzers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeScratchModule(t, dirtySrc)
+			cmd := exec.Command(tool, tc.args...)
+			cmd.Dir = dir
+			out, err := cmd.CombinedOutput()
+			exit := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				exit = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("botvet %v did not run: %v\n%s", tc.args, err, out)
+			}
+			if exit != tc.wantExit {
+				t.Errorf("exit = %d, want %d\n%s", exit, tc.wantExit, out)
+			}
+			if tc.wantMsg != "" && !bytes.Contains(out, []byte(tc.wantMsg)) {
+				t.Errorf("output does not mention %q:\n%s", tc.wantMsg, out)
+			}
+		})
+	}
+
+	t.Run("sarif-only", func(t *testing.T) {
+		dir := writeScratchModule(t, dirtySrc)
+		cmd := exec.Command(tool, "-format=sarif", "-only=goleak", "./...")
+		cmd.Dir = dir
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("botvet -format=sarif -only=goleak did not run: %v\n%s", err, stderr.String())
+		}
+		if exit != 1 {
+			t.Errorf("exit = %d, want 1", exit)
+		}
+		var log sarifLog
+		if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+			t.Fatalf("stdout is not SARIF JSON: %v\n%s", err, stdout.String())
+		}
+		rules := log.Runs[0].Tool.Driver.Rules
+		if len(rules) != 1 || rules[0].ID != "goleak" {
+			t.Errorf("selected run's rule table = %+v, want just goleak", rules)
+		}
+	})
+}
+
 // TestSarifExitCodes pins the -format=sarif wrapper: a dirty module still
 // writes a parseable SARIF log on stdout (CI uploads it before failing)
 // and exits 1; a clean module exits 0 with an empty result set.

@@ -85,7 +85,10 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
-func sarifMain(pkgs []string) int {
+// sarifMain drives the gate in SARIF mode. selected restricts the run
+// (and the emitted rule table) to the named analyzers; nil means the
+// full gate.
+func sarifMain(selected []string, pkgs []string) int {
 	if len(pkgs) == 0 {
 		pkgs = []string{"./..."}
 	}
@@ -95,7 +98,11 @@ func sarifMain(pkgs []string) int {
 		return 2
 	}
 
-	args := append([]string{"vet", "-vettool=" + self, "-json"}, pkgs...)
+	args := []string{"vet", "-vettool=" + self, "-json"}
+	for _, n := range selected {
+		args = append(args, "-"+n)
+	}
+	args = append(args, pkgs...)
 	cmd := exec.Command("go", args...)
 	var vetOut bytes.Buffer
 	cmd.Stdout = &vetOut
@@ -122,7 +129,7 @@ func sarifMain(pkgs []string) int {
 		exit = 1
 	}
 
-	log := buildSarif(results, rules)
+	log := buildSarif(selected, results, rules)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(log); err != nil {
@@ -184,11 +191,22 @@ func parseVetJSON(r io.Reader) ([]finding, map[string]bool, error) {
 	return findings, seen, nil
 }
 
-func buildSarif(findings []finding, _ map[string]bool) *sarifLog {
+func buildSarif(selected []string, findings []finding, _ map[string]bool) *sarifLog {
 	cwd, _ := os.Getwd()
 
+	inRun := func(string) bool { return true }
+	if selected != nil {
+		sel := make(map[string]bool, len(selected))
+		for _, n := range selected {
+			sel[n] = true
+		}
+		inRun = func(n string) bool { return sel[n] }
+	}
 	rules := make([]sarifRule, 0, len(analyzers))
 	for _, a := range analyzers {
+		if !inRun(a.Name) {
+			continue
+		}
 		doc := a.Doc
 		if i := strings.IndexByte(doc, '\n'); i >= 0 {
 			doc = doc[:i]

@@ -1,0 +1,29 @@
+package codecsym_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/codecsym"
+)
+
+// TestBasic covers the in-package pair shapes: a symmetric pair with
+// loops, length-prefixed sequences, and count normalization stays
+// silent; the seeded drift pair (a field added to the encoder only — the
+// exact shape round-trip fuzzing misses while framing still parses) is
+// reported, as are kind mismatches, swapped same-kind fields, missing
+// and duplicated halves, wrong-side nested calls, and dead ops are
+// excluded by the ssabuild liveness filter.
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", codecsym.Analyzer, "botscope/internal/cluster/fix")
+}
+
+// TestCrossPackage proves the codec facts travel: nested pair calls into
+// an imported package resolve to the right side, and calling the foreign
+// decode half from an encode half is reported.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, codecsym.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/wire", Path: "botscope/internal/cluster/wirefix"},
+		{Dir: "testdata/xpkg/peer", Path: "botscope/internal/cluster/peerfix"},
+	})
+}

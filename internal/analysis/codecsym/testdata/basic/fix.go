@@ -1,0 +1,190 @@
+// The basic codecsym fixture: a miniature writer/reader in the repo's
+// wire style plus every pair shape the analyzer classifies.
+package fix
+
+type writer struct{ buf []byte }
+
+func (w *writer) uvarint(v uint64) {}
+func (w *writer) varint(v int64)   {}
+func (w *writer) f64(v float64)    {}
+func (w *writer) str(s string)     {}
+
+type reader struct{ buf []byte }
+
+func (r *reader) uvarint() uint64    { return 0 }
+func (r *reader) varint() int64      { return 0 }
+func (r *reader) f64() float64       { return 0 }
+func (r *reader) str() string        { return "" }
+func (r *reader) count(minB int) int { return 0 }
+
+type rec struct {
+	ID   uint64
+	N    int64
+	Lat  float64
+	Lon  float64
+	Name string
+	Tags []string
+}
+
+// encGood writes a rec: scalars, then a length-prefixed tag list.
+//
+//botvet:codec encode good
+func encGood(w *writer, x *rec) {
+	w.uvarint(x.ID)
+	w.varint(x.N)
+	w.f64(x.Lat)
+	w.f64(x.Lon)
+	w.str(x.Name)
+	w.uvarint(uint64(len(x.Tags)))
+	for _, t := range x.Tags {
+		w.str(t)
+	}
+}
+
+// decGood mirrors encGood; count() normalizes to the uvarint it consumes.
+//
+//botvet:codec decode good
+func decGood(r *reader, x *rec) {
+	x.ID = r.uvarint()
+	x.N = r.varint()
+	x.Lat = r.f64()
+	x.Lon = r.f64()
+	x.Name = r.str()
+	n := r.count(1)
+	for i := 0; i < n; i++ {
+		x.Tags = append(x.Tags, r.str())
+	}
+}
+
+// encDrift gained the Name field; decDrift never learned about it. The
+// frame still parses — fuzzing a round trip only fails if the stray
+// bytes happen to break a later field — but the schema has drifted.
+//
+//botvet:codec encode drift
+func encDrift(w *writer, x *rec) {
+	w.uvarint(x.ID)
+	w.varint(x.N)
+	w.str(x.Name) // want `codec pair "drift" is asymmetric: encode emits 3 ops but decode consumes 2`
+}
+
+// decDrift is one field behind.
+//
+//botvet:codec decode drift
+func decDrift(r *reader, x *rec) {
+	x.ID = r.uvarint()
+	x.N = r.varint()
+}
+
+// encKind and decKind disagree on a primitive.
+//
+//botvet:codec encode kind
+func encKind(w *writer, x *rec) {
+	w.uvarint(x.ID)
+	w.f64(x.Lat)
+}
+
+// decKind reads a varint where a f64 was written.
+//
+//botvet:codec decode kind
+func decKind(r *reader, x *rec) {
+	x.ID = r.uvarint()
+	x.N = r.varint() // want `codec pair "kind" diverges at op 2: encode writes f64 \(Lat\) but decode reads varint \(N\)`
+}
+
+// encSwap and decSwap move the same bytes into the wrong fields: the
+// count and kinds match, only the field labels catch it.
+//
+//botvet:codec encode swap
+func encSwap(w *writer, x *rec) {
+	w.f64(x.Lat)
+	w.f64(x.Lon)
+}
+
+// decSwap stores Lat's bytes into Lon.
+//
+//botvet:codec decode swap
+func decSwap(r *reader, x *rec) {
+	x.Lon = r.f64() // want `codec pair "swap" field drift at op 1: encode writes f64 \(Lat\) but decode stores it into f64 \(Lon\)`
+	x.Lat = r.f64()
+}
+
+// encAlone has no reader half at all.
+//
+//botvet:codec encode alone
+func encAlone(w *writer, x *rec) { // want `codec pair "alone" declares only its encode half`
+	w.uvarint(x.ID)
+}
+
+// encInner / decInner form a nested pair the outer pairs may call.
+//
+//botvet:codec encode inner
+func encInner(w *writer, x *rec) { w.varint(x.N) }
+
+// decInner mirrors encInner.
+//
+//botvet:codec decode inner
+func decInner(r *reader, x *rec) { x.N = r.varint() }
+
+// encOuter composes the inner pair on the matching side.
+//
+//botvet:codec encode outer
+func encOuter(w *writer, x *rec) {
+	w.uvarint(x.ID)
+	encInner(w, x)
+}
+
+// decOuter mirrors encOuter.
+//
+//botvet:codec decode outer
+func decOuter(r *reader, x *rec) {
+	x.ID = r.uvarint()
+	decInner(r, x)
+}
+
+// encBad calls the decode half of the inner pair from an encode half.
+//
+//botvet:codec encode bad
+func encBad(w *writer, r *reader, x *rec) {
+	w.uvarint(x.ID)
+	decInner(r, x) // want `encode half calls the decode half of pair "inner"`
+}
+
+// decBad mirrors encBad so the sequence itself stays symmetric.
+//
+//botvet:codec decode bad
+func decBad(r *reader, x *rec) {
+	x.ID = r.uvarint()
+	decInner(r, x)
+}
+
+// encDup and encDup2 both claim the encode side of one pair.
+//
+//botvet:codec encode dup
+func encDup(w *writer, x *rec) { w.uvarint(x.ID) }
+
+// encDup2 duplicates the encode half.
+//
+//botvet:codec encode dup
+func encDup2(w *writer, x *rec) { w.uvarint(x.ID) } // want `codec pair "dup" has two encode halves`
+
+// decDup is the single decode half.
+//
+//botvet:codec decode dup
+func decDup(r *reader, x *rec) { x.ID = r.uvarint() }
+
+// encDead ends with an unreachable op: the ssabuild liveness filter
+// drops it, so the pair stays symmetric.
+//
+//botvet:codec encode dead
+func encDead(w *writer, x *rec) {
+	w.uvarint(x.ID)
+	return
+	w.varint(x.N)
+}
+
+// decDead mirrors only the live op.
+//
+//botvet:codec decode dead
+func decDead(r *reader, x *rec) {
+	x.ID = r.uvarint()
+}

@@ -1,0 +1,42 @@
+// Consumer half of the cross-package codecsym fixture: frame pairs that
+// nest the imported point pair, on the right and the wrong side.
+package peer
+
+import wire "botscope/internal/cluster/wirefix"
+
+type frame struct {
+	N uint64
+	P wire.Point
+}
+
+// encFrame nests the imported pair on the matching side.
+//
+//botvet:codec encode frame
+func encFrame(w *wire.W, f *frame) {
+	w.Uvarint(f.N)
+	wire.EncPoint(w, &f.P)
+}
+
+// decFrame mirrors encFrame.
+//
+//botvet:codec decode frame
+func decFrame(r *wire.R, f *frame) {
+	f.N = r.Uvarint()
+	wire.DecPoint(r, &f.P)
+}
+
+// encBad calls the imported decode half from an encode half.
+//
+//botvet:codec encode bad
+func encBad(w *wire.W, r *wire.R, f *frame) {
+	w.Uvarint(f.N)
+	wire.DecPoint(r, &f.P) // want `encode half calls the decode half of pair "point"`
+}
+
+// decBad mirrors encBad so the sequence itself stays symmetric.
+//
+//botvet:codec decode bad
+func decBad(r *wire.R, f *frame) {
+	f.N = r.Uvarint()
+	wire.DecPoint(r, &f.P)
+}

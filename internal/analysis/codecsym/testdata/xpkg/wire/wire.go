@@ -1,0 +1,31 @@
+// Producer half of the cross-package codecsym fixture: the point pair
+// lives here and its facts travel to importers.
+package wire
+
+type W struct{ buf []byte }
+
+func (w *W) Uvarint(v uint64) {}
+func (w *W) Varint(v int64)   {}
+
+type R struct{ buf []byte }
+
+func (r *R) Uvarint() uint64 { return 0 }
+func (r *R) Varint() int64   { return 0 }
+
+type Point struct{ X, Y int64 }
+
+// EncPoint writes a point.
+//
+//botvet:codec encode point
+func EncPoint(w *W, p *Point) {
+	w.Varint(p.X)
+	w.Varint(p.Y)
+}
+
+// DecPoint mirrors EncPoint.
+//
+//botvet:codec decode point
+func DecPoint(r *R, p *Point) {
+	p.X = r.Varint()
+	p.Y = r.Varint()
+}

@@ -1,0 +1,33 @@
+package lazymat_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/lazymat"
+)
+
+// TestBasic covers the in-package shapes under a column-native import
+// path: materializer calls are reported anywhere in the package, the
+// per-row bridge passes in plain functions but is reported from
+// //botscope:hotpath functions — directly and through a local helper.
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", lazymat.Analyzer, "botscope/internal/core/fix")
+}
+
+// TestOutOfScope pins the package gate: materializer calls outside the
+// column-native scope stay silent, while the hotpath rule still holds
+// everywhere — a hot function has no business on the record face in any
+// package.
+func TestOutOfScope(t *testing.T) {
+	atest.Run(t, "testdata/outofscope", lazymat.Analyzer, "botscope/internal/report/fix")
+}
+
+// TestCrossPackage proves the record-face facts flow from the declaring
+// (dataset-like) package to a column-native consumer.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, lazymat.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/ds", Path: "botscope/internal/dataset/fix"},
+		{Dir: "testdata/xpkg/core", Path: "botscope/internal/core/fix"},
+	})
+}

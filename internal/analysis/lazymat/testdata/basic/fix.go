@@ -1,0 +1,53 @@
+// The basic lazymat fixture: a column-native package (the test assigns
+// it a path under internal/core) holding a record-face API and every
+// caller shape.
+package fix
+
+type Attack struct{ ID uint64 }
+
+type Store struct{ recs []*Attack }
+
+// Attacks materializes the full record arena.
+//
+//botscope:materializes
+func (s *Store) Attacks() []*Attack { return s.recs }
+
+// AttackRecordAt is the per-row CAS-memo bridge.
+//
+//botscope:recordbridge
+func (s *Store) AttackRecordAt(i int) *Attack { return s.recs[i] }
+
+// AttackAt is column-native: no directive, no record face.
+func (s *Store) AttackAt(i int) uint64 { return s.recs[i].ID }
+
+func scan(s *Store) int {
+	return len(s.Attacks()) // want `materializes the attack record arena`
+}
+
+// bridge uses the per-row memo outside any hot path: allowed.
+func bridge(s *Store) *Attack {
+	return s.AttackRecordAt(0)
+}
+
+// hot reads one record per call.
+//
+//botscope:hotpath
+func hot(s *Store) uint64 {
+	return s.AttackRecordAt(0).ID // want `record-face bridge AttackRecordAt`
+}
+
+// hotIndirect reaches the face through a local helper.
+//
+//botscope:hotpath
+func hotIndirect(s *Store) uint64 {
+	return helper(s) // want `reaches the record face`
+}
+
+func helper(s *Store) uint64 { return s.AttackRecordAt(1).ID }
+
+// hotClean stays on the columns: silent.
+//
+//botscope:hotpath
+func hotClean(s *Store) uint64 {
+	return s.AttackAt(0)
+}

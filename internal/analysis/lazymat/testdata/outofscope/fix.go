@@ -1,0 +1,31 @@
+// The out-of-scope lazymat fixture: the same record-face API under a
+// path outside the column-native scope. Materializer calls pass — this
+// package is allowed to want records — but the hotpath rule is global:
+// hot functions stay off the record face everywhere.
+package fix
+
+type Attack struct{ ID uint64 }
+
+type Store struct{ recs []*Attack }
+
+// Attacks materializes the full record arena.
+//
+//botscope:materializes
+func (s *Store) Attacks() []*Attack { return s.recs }
+
+// AttackRecordAt is the per-row CAS-memo bridge.
+//
+//botscope:recordbridge
+func (s *Store) AttackRecordAt(i int) *Attack { return s.recs[i] }
+
+// report-style consumers materialize freely outside the scope.
+func table(s *Store) int {
+	return len(s.Attacks())
+}
+
+// hot is hot even here.
+//
+//botscope:hotpath
+func hot(s *Store) uint64 {
+	return s.AttackRecordAt(0).ID // want `record-face bridge AttackRecordAt`
+}

@@ -1,0 +1,21 @@
+// Consumer half of the cross-package lazymat fixture: a column-native
+// package calling the imported record face.
+package core
+
+import ds "botscope/internal/dataset/fix"
+
+func sweep(s *ds.Store) int {
+	return len(s.Attacks()) // want `materializes the attack record arena`
+}
+
+// perRow is a plain function on the bridge: allowed.
+func perRow(s *ds.Store) *ds.Attack {
+	return s.AttackRecordAt(3)
+}
+
+// hotK is a hot kernel.
+//
+//botscope:hotpath
+func hotK(s *ds.Store) uint64 {
+	return s.AttackRecordAt(0).ID // want `record-face bridge AttackRecordAt`
+}

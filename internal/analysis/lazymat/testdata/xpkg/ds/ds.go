@@ -1,0 +1,18 @@
+// Producer half of the cross-package lazymat fixture: the record-face
+// directives live here, on the dataset-like store, and their facts
+// travel to importers.
+package ds
+
+type Attack struct{ ID uint64 }
+
+type Store struct{ recs []*Attack }
+
+// Attacks materializes the full record arena.
+//
+//botscope:materializes
+func (s *Store) Attacks() []*Attack { return s.recs }
+
+// AttackRecordAt is the per-row CAS-memo bridge.
+//
+//botscope:recordbridge
+func (s *Store) AttackRecordAt(i int) *Attack { return s.recs[i] }

@@ -1,0 +1,162 @@
+// Package memodisc defines the columnar-tier botvet analyzer that
+// enforces the publish discipline of atomic.Pointer memo slots. A memo
+// slot (Store.recRows, the frontend's merged-snapshot cache) is written
+// by whoever computes the value first and read lock-free forever after;
+// the only safe publish is compare-and-swap-then-load — a plain Store
+// can overwrite an already-published value, and two racing writers then
+// hand out distinct copies of what every reader must agree is one
+// object.
+//
+// Slots are marked with a "//botscope:memo" directive on the struct
+// field (doc comment or line comment); the fact travels across packages.
+// On a marked slot — including elements of a marked slice or array of
+// atomic.Pointer — the analyzer allows Load and CompareAndSwap and
+// reports Store and Swap. Audited exceptions carry
+// "//botvet:ignore memodisc <reason>".
+package memodisc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"botscope/internal/analysis/vetutil"
+)
+
+// Directive marks an atomic.Pointer struct field as a CAS-or-Load memo
+// slot.
+const Directive = "botscope:memo"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "memodisc",
+	Doc:       "//botscope:memo atomic.Pointer slots are published with CompareAndSwap and read with Load; plain Store/Swap can clobber a published value",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*memoFact)(nil)},
+	Run:       run,
+}
+
+// memoFact marks a struct field as a memo slot.
+type memoFact struct{}
+
+func (*memoFact) AFact()         {}
+func (*memoFact) String() string { return "CAS-or-Load memo slot" }
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Collect and export this package's marked fields.
+	local := map[types.Object]bool{}
+	ins.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
+		st := n.(*ast.StructType)
+		for _, field := range st.Fields.List {
+			if !vetutil.HasDirective(field.Doc, Directive) && !vetutil.HasDirective(field.Comment, Directive) {
+				continue
+			}
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if !isAtomicPointerish(obj.Type()) {
+					if !vetutil.IsTestFile(pass.Fset, name.Pos()) {
+						pass.Reportf(name.Pos(),
+							"//botscope:memo on %s, which is not an atomic.Pointer (or slice/array of them); the directive has no meaning here",
+							name.Name)
+					}
+					continue
+				}
+				local[obj] = true
+				pass.ExportObjectFact(obj, &memoFact{})
+			}
+		}
+	})
+
+	isMemo := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		if local[obj] {
+			return true
+		}
+		return pass.ImportObjectFact(obj, &memoFact{})
+	}
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if fn.Name() != "Store" && fn.Name() != "Swap" {
+			return
+		}
+		slot := fieldOf(pass.TypesInfo, sel.X)
+		if !isMemo(slot) {
+			return
+		}
+		if vetutil.IsTestFile(pass.Fset, call.Pos()) || vetutil.Suppressed(pass, call.Pos(), "memodisc") {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"%s on memo slot %s can clobber a published value; publish with CompareAndSwap and re-read with Load",
+			fn.Name(), slot.Name())
+	})
+	return nil, nil
+}
+
+// fieldOf peels the receiver expression of an atomic method call down to
+// the struct field it addresses: s.cache, s.recRows[i], (&s.cache), etc.
+func fieldOf(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			obj := info.ObjectOf(x.Sel)
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isAtomicPointerish reports whether t is sync/atomic.Pointer[T], or a
+// slice/array of it.
+func isAtomicPointerish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isAtomicPointer(u.Elem())
+	case *types.Array:
+		return isAtomicPointer(u.Elem())
+	}
+	return isAtomicPointer(t)
+}
+
+func isAtomicPointer(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}

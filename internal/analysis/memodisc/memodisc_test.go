@@ -1,0 +1,25 @@
+package memodisc_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/memodisc"
+)
+
+// TestBasic covers the in-package shapes: the CAS-or-Load publish
+// discipline passes, Store and Swap on marked slots (scalar field and
+// slice element alike) are reported, unmarked fields stay free, and the
+// directive on a non-atomic.Pointer field is itself diagnosed.
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", memodisc.Analyzer, "botscope/internal/dataset/fix")
+}
+
+// TestCrossPackage proves the slot fact travels: a Store on an imported
+// marked field is reported at the caller.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, memodisc.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/slot", Path: "botscope/internal/dataset/fix"},
+		{Dir: "testdata/xpkg/use", Path: "botscope/internal/cluster/fix"},
+	})
+}

@@ -1,0 +1,53 @@
+// The basic memodisc fixture: marked and unmarked atomic.Pointer slots
+// under every publish shape.
+package fix
+
+import "sync/atomic"
+
+type rec struct{ id int }
+
+type store struct {
+	// cache memoizes the first computed rec.
+	//
+	//botscope:memo
+	cache atomic.Pointer[rec]
+
+	// rows is a per-row memo arena.
+	//
+	//botscope:memo
+	rows []atomic.Pointer[rec]
+
+	// scratch carries no discipline.
+	scratch atomic.Pointer[rec]
+
+	//botscope:memo
+	gen int // want `not an atomic.Pointer`
+}
+
+// get follows the CAS-or-Load discipline: silent.
+func get(s *store) *rec {
+	if r := s.cache.Load(); r != nil {
+		return r
+	}
+	r := &rec{id: 1}
+	if !s.cache.CompareAndSwap(nil, r) {
+		return s.cache.Load()
+	}
+	return r
+}
+
+// getRow follows the discipline on a slice element: silent.
+func getRow(s *store, i int) *rec {
+	if !s.rows[i].CompareAndSwap(nil, &rec{id: i}) {
+		return s.rows[i].Load()
+	}
+	return s.rows[i].Load()
+}
+
+func clobber(s *store) {
+	s.cache.Store(&rec{})      // want `Store on memo slot cache`
+	s.rows[0].Store(&rec{})    // want `Store on memo slot rows`
+	_ = s.rows[1].Swap(&rec{}) // want `Swap on memo slot rows`
+	s.scratch.Store(&rec{})    // unmarked: free discipline
+	_ = s.scratch.Swap(&rec{})
+}

@@ -1,0 +1,14 @@
+// Producer half of the cross-package memodisc fixture: the marked slot
+// lives here and its fact travels to importers.
+package slot
+
+import "sync/atomic"
+
+type Rec struct{ ID int }
+
+type Box struct {
+	// Memo is published once and read lock-free.
+	//
+	//botscope:memo
+	Memo atomic.Pointer[Rec]
+}

@@ -1,0 +1,17 @@
+// Consumer half of the cross-package memodisc fixture: discipline on the
+// imported slot is enforced at the caller, through the fact.
+package use
+
+import slot "botscope/internal/dataset/fix"
+
+// publish follows the discipline: silent.
+func publish(b *slot.Box, r *slot.Rec) *slot.Rec {
+	if !b.Memo.CompareAndSwap(nil, r) {
+		return b.Memo.Load()
+	}
+	return r
+}
+
+func clobber(b *slot.Box, r *slot.Rec) {
+	b.Memo.Store(r) // want `Store on memo slot Memo`
+}

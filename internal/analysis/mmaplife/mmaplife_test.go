@@ -1,0 +1,27 @@
+package mmaplife_test
+
+import (
+	"testing"
+
+	"botscope/internal/analysis/atest"
+	"botscope/internal/analysis/mmaplife"
+)
+
+// TestBasic covers the three retention shapes over an in-package
+// //botscope:mmap producer: package-level stores, goroutine captures and
+// arguments (pinned and unpinned), and undocumented exported returns —
+// plus the safe shapes (scalar loads, local use, documented aliasing)
+// that must stay silent.
+func TestBasic(t *testing.T) {
+	atest.Run(t, "testdata/basic", mmaplife.Analyzer, "botscope/internal/dataset/fix")
+}
+
+// TestCrossPackage proves the producer fact travels: a consumer package
+// retaining views from an imported //botscope:mmap producer is reported
+// at the retention site.
+func TestCrossPackage(t *testing.T) {
+	atest.RunPkgs(t, mmaplife.Analyzer, []atest.Pkg{
+		{Dir: "testdata/xpkg/store", Path: "botscope/internal/dataset/fix"},
+		{Dir: "testdata/xpkg/use", Path: "botscope/internal/core/fix"},
+	})
+}

@@ -1,0 +1,103 @@
+// The basic mmaplife fixture: one package holding a store with
+// //botscope:mmap producers and every retention shape the analyzer
+// classifies.
+package fix
+
+type columns struct {
+	rows []int32
+	strs []string
+}
+
+type Store struct {
+	cols *columns
+}
+
+// TargetRows hands out a row span aliasing the mapped region.
+//
+//botscope:mmap
+func (s *Store) TargetRows(tid int32) []int32 {
+	return s.cols.rows
+}
+
+// BootRows is a package-function producer.
+//
+//botscope:mmap
+func BootRows() []int32 { return nil }
+
+var leakedInit = BootRows() // want `package-level variable leakedInit`
+
+var leaked []int32
+var leakedSub []int32
+
+func storeGlobal(s *Store) {
+	leaked = s.TargetRows(1) // want `package-level variable leaked`
+}
+
+func storeDerived(s *Store) {
+	rows := s.TargetRows(1)
+	sub := rows[1:]
+	leakedSub = sub // want `package-level variable leakedSub`
+}
+
+func consume(rows []int32) {}
+
+func launchArg(s *Store) {
+	rows := s.TargetRows(1)
+	go consume(rows) // want `passed into a goroutine`
+}
+
+func launchPinned(s *Store) {
+	rows := s.TargetRows(1)
+	//botscope:pinned
+	go consume(rows)
+}
+
+func launchCapture(s *Store) {
+	rows := s.TargetRows(1)
+	go func() { // want `goroutine captures mmap-scoped rows`
+		consume(rows)
+	}()
+}
+
+func launchCapturePinned(s *Store) {
+	rows := s.TargetRows(1)
+	//botscope:pinned
+	go func() {
+		consume(rows)
+	}()
+}
+
+// Rows re-exports the span with no aliasing contract.
+func Rows(s *Store) []int32 {
+	return s.TargetRows(0) // want `aliasing contract`
+}
+
+// SharedRows documents the aliasing.
+//
+//botscope:shared
+func SharedRows(s *Store) []int32 {
+	return s.TargetRows(0)
+}
+
+// CopyRows detaches from the mapping; append allocates fresh backing.
+func CopyRows(s *Store) []int32 {
+	return append([]int32(nil), s.TargetRows(0)...)
+}
+
+// Scalar loads are copies: never scoped, never reported.
+func count(s *Store) int {
+	rows := s.TargetRows(0)
+	v := rows[0]
+	go consume([]int32{v})
+	return len(rows)
+}
+
+// rowsLocal keeps the view inside the frame: silent.
+func rowsLocal(s *Store) int {
+	rows := s.TargetRows(2)
+	total := 0
+	for _, r := range rows {
+		total += int(r)
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Producer half of the cross-package mmaplife fixture: the annotated
+// accessor lives here and its fact travels to importers.
+package store
+
+type Store struct {
+	rows []int32
+}
+
+// Rows hands out the mmap-scoped row arena.
+//
+//botscope:mmap
+func (s *Store) Rows() []int32 { return s.rows }

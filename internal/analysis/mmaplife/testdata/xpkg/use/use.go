@@ -1,0 +1,25 @@
+// Consumer half of the cross-package mmaplife fixture: retention of an
+// imported producer's views is reported here, through the fact.
+package use
+
+import store "botscope/internal/dataset/fix"
+
+var leak []int32
+
+func keep(s *store.Store) {
+	leak = s.Rows() // want `package-level variable leak`
+}
+
+// Span re-exports the view with no contract.
+func Span(s *store.Store) []int32 {
+	return s.Rows() // want `aliasing contract`
+}
+
+// Sum stays inside the frame: silent.
+func Sum(s *store.Store) int {
+	total := 0
+	for _, r := range s.Rows() {
+		total += int(r)
+	}
+	return total
+}

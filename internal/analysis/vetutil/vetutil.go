@@ -79,6 +79,32 @@ func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
 	return false
 }
 
+// LineDirective reports whether the source line holding pos, or the line
+// directly above it, carries the given comment directive (e.g.
+// "botscope:pinned") — the statement-level analogue of HasDirective for
+// annotations that attach to a single go statement or call rather than a
+// declaration.
+func LineDirective(pass *analysis.Pass, pos token.Pos, directive string) bool {
+	pp := pass.Fset.Position(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != pp.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				cl := pass.Fset.Position(c.Pos()).Line
+				if cl != pp.Line && cl != pp.Line-1 {
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == directive {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // HasDirective reports whether the declaration's doc comment group carries
 // the given comment directive (e.g. "botscope:shared"): a comment of
 // exactly "//<directive>", with no space after the slashes, as gofmt

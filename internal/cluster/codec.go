@@ -30,6 +30,8 @@ const (
 )
 
 // encodeIngest appends the msgIngest payload for entries to w.
+//
+//botvet:codec encode ingest
 func encodeIngest(w *wireWriter, entries []IngestEntry) {
 	w.uvarint(uint64(len(entries)))
 	for i := range entries {
@@ -49,6 +51,8 @@ func encodeIngest(w *wireWriter, entries []IngestEntry) {
 }
 
 // decodeIngest parses an msgIngest payload.
+//
+//botvet:codec decode ingest
 func decodeIngest(payload []byte) ([]IngestEntry, error) {
 	r := &wireReader{buf: payload}
 	// A tick costs at least 5 bytes (kind + 4 varints).
@@ -90,6 +94,8 @@ func decodeIngest(payload []byte) ([]IngestEntry, error) {
 // encodeAttack appends one full dataset.Attack. Times cross as UTC
 // unix-nanoseconds; every string and address round-trips verbatim so the
 // shard's analyzer sees exactly the record the frontend validated.
+//
+//botvet:codec encode attack
 func encodeAttack(w *wireWriter, a *dataset.Attack) {
 	w.uvarint(uint64(a.ID))
 	w.uvarint(uint64(a.BotnetID))
@@ -112,6 +118,8 @@ func encodeAttack(w *wireWriter, a *dataset.Attack) {
 
 // decodeAttack parses one full record; on malformed input it sets r.err
 // and returns an undefined record.
+//
+//botvet:codec decode attack
 func decodeAttack(r *wireReader) *dataset.Attack {
 	a := &dataset.Attack{
 		ID:       dataset.DDoSID(r.uvarint()),
@@ -146,11 +154,13 @@ type helloAck struct {
 	Applied uint64
 }
 
+//botvet:codec encode helloAck
 func encodeHelloAck(w *wireWriter, h helloAck) {
 	w.varint(int64(h.ShardID))
 	w.uvarint(h.Applied)
 }
 
+//botvet:codec decode helloAck
 func decodeHelloAck(payload []byte) (helloAck, error) {
 	r := &wireReader{buf: payload}
 	h := helloAck{ShardID: int(r.varint()), Applied: r.uvarint()}
@@ -163,10 +173,12 @@ type ingestAck struct {
 	Applied uint64
 }
 
+//botvet:codec encode ingestAck
 func encodeIngestAck(w *wireWriter, a ingestAck) {
 	w.uvarint(a.Applied)
 }
 
+//botvet:codec decode ingestAck
 func decodeIngestAck(payload []byte) (ingestAck, error) {
 	r := &wireReader{buf: payload}
 	a := ingestAck{Applied: r.uvarint()}

@@ -71,8 +71,14 @@ type Frontend struct {
 	// gen invalidates the merged-snapshot cache: bumped on every applied
 	// chunk and every membership change.
 	gen    atomic.Uint64
-	snapMu sync.Mutex                 // serializes cache rebuilds only
-	cache  atomic.Pointer[mergedSnap] // lock-free on the read path
+	snapMu sync.Mutex // serializes cache rebuilds only
+	// cache holds the merged snapshot for the current generation,
+	// lock-free on the read path. Rebuilds publish with
+	// CompareAndSwap against the value loaded under snapMu so a
+	// racing writer can never clobber a newer snapshot.
+	//
+	//botscope:memo
+	cache atomic.Pointer[mergedSnap]
 }
 
 type mergedSnap struct {
@@ -187,8 +193,9 @@ func (f *Frontend) LiveSnapshot(ctx context.Context) (stream.Snapshot, []int, er
 	f.snapMu.Lock()
 	defer f.snapMu.Unlock()
 	gen := f.gen.Load()
-	if c := f.cache.Load(); c != nil && c.gen == gen {
-		return c.snap, c.degraded, nil
+	prev := f.cache.Load()
+	if prev != nil && prev.gen == gen {
+		return prev.snap, prev.degraded, nil
 	}
 
 	ids, clients := f.members()
@@ -231,7 +238,7 @@ func (f *Frontend) LiveSnapshot(ctx context.Context) (stream.Snapshot, []int, er
 	}
 
 	if f.gen.Load() == gen {
-		f.cache.Store(&mergedSnap{gen: gen, snap: merged, degraded: degraded})
+		f.cache.CompareAndSwap(prev, &mergedSnap{gen: gen, snap: merged, degraded: degraded})
 	}
 	return merged, degraded, nil
 }

@@ -27,6 +27,8 @@ type ShardSnapshot struct {
 // encodeSnapshot appends s's wire encoding. Every float crosses as its
 // IEEE-754 bits and every time as UTC unix-nanoseconds, so the frontend
 // reconstructs values bit-exactly.
+//
+//botvet:codec encode snapshot
 func encodeSnapshot(w *wireWriter, s *ShardSnapshot) {
 	w.varint(int64(s.ShardID))
 	w.uvarint(s.Applied)
@@ -63,6 +65,7 @@ func encodeSnapshot(w *wireWriter, s *ShardSnapshot) {
 	encodeCollab(w, &sn.Collaborations)
 }
 
+//botvet:codec encode daily
 func encodeDaily(w *wireWriter, d *core.DailyStats) {
 	w.f64(d.Average)
 	w.varint(int64(d.Max))
@@ -76,6 +79,7 @@ func encodeDaily(w *wireWriter, d *core.DailyStats) {
 	}
 }
 
+//botvet:codec encode summary
 func encodeSummary(w *wireWriter, s *stats.Summary) {
 	w.varint(int64(s.N))
 	w.f64(s.Mean)
@@ -87,6 +91,7 @@ func encodeSummary(w *wireWriter, s *stats.Summary) {
 	w.f64(s.P95)
 }
 
+//botvet:codec encode collab
 func encodeCollab(w *wireWriter, c *stream.CollabSummary) {
 	w.varint(int64(c.TotalIntra))
 	w.varint(int64(c.TotalInter))
@@ -125,6 +130,8 @@ func encodeCollab(w *wireWriter, c *stream.CollabSummary) {
 
 // encodeFamilyCounts writes a family→count map in sorted-family order so
 // the encoding is deterministic regardless of map iteration.
+//
+//botvet:codec encode familyCounts
 func encodeFamilyCounts(w *wireWriter, m map[dataset.Family]int) {
 	fams := make([]dataset.Family, 0, len(m))
 	for f := range m {
@@ -139,6 +146,8 @@ func encodeFamilyCounts(w *wireWriter, m map[dataset.Family]int) {
 }
 
 // decodeSnapshot parses a msgSnapResp payload.
+//
+//botvet:codec decode snapshot
 func decodeSnapshot(payload []byte) (ShardSnapshot, error) {
 	r := &wireReader{buf: payload}
 	var s ShardSnapshot
@@ -192,6 +201,7 @@ func wireTime(nanos int64) time.Time {
 	return time.Unix(0, nanos).UTC()
 }
 
+//botvet:codec decode daily
 func decodeDaily(r *wireReader, d *core.DailyStats) {
 	d.Average = r.f64()
 	d.Max = int(r.varint())
@@ -208,6 +218,7 @@ func decodeDaily(r *wireReader, d *core.DailyStats) {
 	}
 }
 
+//botvet:codec decode summary
 func decodeSummary(r *wireReader, s *stats.Summary) {
 	s.N = int(r.varint())
 	s.Mean = r.f64()
@@ -219,6 +230,7 @@ func decodeSummary(r *wireReader, s *stats.Summary) {
 	s.P95 = r.f64()
 }
 
+//botvet:codec decode collab
 func decodeCollab(r *wireReader, c *stream.CollabSummary) {
 	c.TotalIntra = int(r.varint())
 	c.TotalInter = int(r.varint())
@@ -254,6 +266,7 @@ func decodeCollab(r *wireReader, c *stream.CollabSummary) {
 	c.BotnetTotal = int(r.varint())
 }
 
+//botvet:codec decode familyCounts
 func decodeFamilyCounts(r *wireReader) map[dataset.Family]int {
 	n := r.count(2)
 	m := make(map[dataset.Family]int, n)

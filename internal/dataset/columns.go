@@ -217,6 +217,8 @@ func buildDense(refIPs []netip.Addr, nBotsHint int, rows map[netip.Addr]int32) *
 // Cols returns the store's columnar form, deriving it from the records
 // on first use. The snapshot path pre-populates it, so there the call is
 // free. The returned columns are shared and immutable.
+//
+//botscope:mmap
 func (s *Store) Cols() *Columns {
 	s.colsOnce.Do(func() {
 		if s.cols == nil {

@@ -21,6 +21,8 @@ type AttackView struct {
 
 // Attack returns a cursor over attack row i (the store's sorted attack
 // order).
+//
+//botscope:mmap
 func (c *Columns) Attack(i int) AttackView { return AttackView{c: c, row: int32(i)} }
 
 // AttackRows returns the number of attack rows, for cursor loops.
@@ -28,6 +30,8 @@ func (s *Store) AttackRows() int { return len(s.Cols().aID) }
 
 // AttackAt returns a cursor over attack row i without touching the
 // record face.
+//
+//botscope:mmap
 func (s *Store) AttackAt(i int) AttackView { return s.Cols().Attack(i) }
 
 // Row returns the view's attack row.
@@ -101,6 +105,8 @@ type BotView struct {
 }
 
 // BotRow returns a cursor over Botlist row i.
+//
+//botscope:mmap
 func (c *Columns) BotRow(i int32) BotView { return BotView{c: c, row: i} }
 
 // IP returns the bot's address.
@@ -134,10 +140,14 @@ type BotnetView struct {
 }
 
 // BotnetRow returns a cursor over Botnetlist row i.
+//
+//botscope:mmap
 func (c *Columns) BotnetRow(i int32) BotnetView { return BotnetView{c: c, row: i} }
 
 // BotnetByID returns a cursor over the botnet with the given id. ok is
 // false when the id has no Botnetlist row.
+//
+//botscope:mmap
 func (s *Store) BotnetByID(id BotnetID) (BotnetView, bool) {
 	c := s.Cols()
 	row, ok := c.botnetRow(uint32(id))

@@ -171,10 +171,12 @@ func TestSnapshotConcurrentMaterialize(t *testing.T) {
 	}
 }
 
-// TestReadSnapshotMmapInfo pins the load-path provenance: a regular file
-// takes the mmap path (where the platform supports it), BOTSCOPE_NO_MMAP
-// forces the io.ReadAll fallback, a non-file reader never maps — and all
-// three produce identical stores.
+// TestReadSnapshotMmapInfo pins the load-path provenance and the lazy
+// contract across every load path in one table: a regular file takes the
+// mmap path (where the platform supports it), BOTSCOPE_NO_MMAP forces the
+// io.ReadAll fallback, a non-file reader never maps — and on all three
+// the store arrives with no record arena, stays column-native until the
+// first record-face touch, and produces identical records after it.
 func TestReadSnapshotMmapInfo(t *testing.T) {
 	s := snapFixtureStore(t)
 	want := csvBytes(t, s)
@@ -187,7 +189,13 @@ func TestReadSnapshotMmapInfo(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	load := func(t *testing.T) *Store {
+	mmapSupported := false
+	switch runtime.GOOS {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos":
+		mmapSupported = true
+	}
+
+	fromFile := func(t *testing.T) *Store {
 		f, err := os.Open(path)
 		if err != nil {
 			t.Fatal(err)
@@ -200,45 +208,56 @@ func TestReadSnapshotMmapInfo(t *testing.T) {
 		return got
 	}
 
-	mmapSupported := false
-	switch runtime.GOOS {
-	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos":
-		mmapSupported = true
+	cases := []struct {
+		name       string
+		noMmapEnv  bool
+		load       func(t *testing.T) *Store
+		wantMapped bool
+	}{
+		{name: "file", load: fromFile, wantMapped: mmapSupported},
+		{name: "no-mmap-env", noMmapEnv: true, load: fromFile, wantMapped: false},
+		{name: "non-file-reader", wantMapped: false,
+			load: func(t *testing.T) *Store {
+				got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				return got
+			}},
 	}
-
-	t.Run("file", func(t *testing.T) {
-		got := load(t)
-		info := got.SnapshotInfo()
-		if info.Version != snapVersion || info.Bytes != int64(buf.Len()) {
-			t.Fatalf("info = %+v, want version %d over %d bytes", info, snapVersion, buf.Len())
-		}
-		if mmapSupported && !info.Mapped {
-			t.Fatal("regular file load did not take the mmap path")
-		}
-		if !bytes.Equal(want, csvBytes(t, got)) {
-			t.Fatal("mapped store differs")
-		}
-	})
-	t.Run("no-mmap-env", func(t *testing.T) {
-		t.Setenv("BOTSCOPE_NO_MMAP", "1")
-		got := load(t)
-		if got.SnapshotInfo().Mapped {
-			t.Fatal("BOTSCOPE_NO_MMAP load still mapped the file")
-		}
-		if !bytes.Equal(want, csvBytes(t, got)) {
-			t.Fatal("fallback store differs")
-		}
-	})
-	t.Run("non-file-reader", func(t *testing.T) {
-		got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			t.Fatalf("read: %v", err)
-		}
-		if got.SnapshotInfo().Mapped {
-			t.Fatal("bytes.Reader load claims to be mapped")
-		}
-		if !bytes.Equal(want, csvBytes(t, got)) {
-			t.Fatal("reader-loaded store differs")
-		}
-	})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.noMmapEnv {
+				t.Setenv("BOTSCOPE_NO_MMAP", "1")
+			}
+			got := tc.load(t)
+			info := got.SnapshotInfo()
+			if info.Version != snapVersion || info.Bytes != int64(buf.Len()) {
+				t.Fatalf("info = %+v, want version %d over %d bytes", info, snapVersion, buf.Len())
+			}
+			if info.Mapped != tc.wantMapped {
+				t.Fatalf("info.Mapped = %t, want %t", info.Mapped, tc.wantMapped)
+			}
+			if got.RecordsMaterialized() {
+				t.Fatal("store arrived with the record arena already built")
+			}
+			// Column-native reads must not flip the lazy record view.
+			if got.NumAttacks() != s.NumAttacks() {
+				t.Fatalf("NumAttacks = %d, want %d", got.NumAttacks(), s.NumAttacks())
+			}
+			for i, n := 0, got.AttackRows(); i < n; i++ {
+				_ = got.AttackAt(i).Family()
+			}
+			if got.RecordsMaterialized() {
+				t.Fatal("column-native reads materialized the record view")
+			}
+			// First record-face touch: flag flips, content identical.
+			if !bytes.Equal(want, csvBytes(t, got)) {
+				t.Fatalf("%s store differs from the record-built store", tc.name)
+			}
+			if !got.RecordsMaterialized() {
+				t.Fatal("record-face touch did not materialize the record view")
+			}
+		})
+	}
 }

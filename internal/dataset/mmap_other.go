@@ -18,3 +18,7 @@ func mmapFile(_ *os.File, _ int64) (*mmapRegion, error) {
 }
 
 func (m *mmapRegion) close() {}
+
+func (m *mmapRegion) release() {}
+
+func (m *mmapRegion) mapped() bool { return false }

@@ -39,3 +39,14 @@ func (m *mmapRegion) close() {
 		m.data = nil
 	}
 }
+
+// release unmaps eagerly on behalf of Store.Close: the finalizer is
+// cleared first so the region is not unmapped a second time when it
+// becomes unreachable.
+func (m *mmapRegion) release() {
+	runtime.SetFinalizer(m, nil)
+	m.close()
+}
+
+// mapped reports whether the region still holds a live mapping.
+func (m *mmapRegion) mapped() bool { return m.data != nil }

@@ -328,8 +328,13 @@ func (r *snapReader) strID(nStr int) int32 {
 	return int32(v)
 }
 
-// WriteSnapshot writes the store's BSCS snapshot to w.
+// WriteSnapshot writes the store's BSCS snapshot to w. It returns
+// ErrStoreClosed for a closed store: encoding reads the columns, and on
+// a mapped store those bytes were released by Close.
 func WriteSnapshot(w io.Writer, s *Store) error {
+	if s.Closed() {
+		return ErrStoreClosed
+	}
 	_, err := w.Write(EncodeSnapshot(s))
 	return err
 }
@@ -433,6 +438,7 @@ func EncodeSnapshot(s *Store) []byte {
 // and the test-only v1 encoder compose them, which is what keeps the two
 // layouts byte-compatible at the payload level.
 
+//botvet:codec encode strings
 func encStrings(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.strs)))
 	for _, str := range c.strs {
@@ -440,6 +446,7 @@ func encStrings(w *snapWriter, c *Columns) {
 	}
 }
 
+//botvet:codec encode targets
 func encTargets(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.targets)))
 	for _, a := range c.targets {
@@ -447,6 +454,7 @@ func encTargets(w *snapWriter, c *Columns) {
 	}
 }
 
+//botvet:codec encode botnets
 func encBotnets(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.nID)))
 	for _, v := range c.nID {
@@ -469,6 +477,7 @@ func encBotnets(w *snapWriter, c *Columns) {
 	}
 }
 
+//botvet:codec encode bots
 func encBots(w *snapWriter, c *Columns) {
 	w.uvarint(uint64(len(c.bIP)))
 	for _, a := range c.bIP {
@@ -499,6 +508,7 @@ func encBots(w *snapWriter, c *Columns) {
 	}
 }
 
+//botvet:codec encode attacks
 func encAttacks(w *snapWriter, c *Columns) {
 	n := len(c.aID)
 	w.uvarint(uint64(n))
@@ -551,6 +561,7 @@ func encAttacks(w *snapWriter, c *Columns) {
 	}
 }
 
+//botvet:codec encode dense
 func encDense(w *snapWriter, d *denseBots) {
 	w.uvarint(uint64(len(d.ips)))
 	for _, a := range d.ips {
@@ -721,6 +732,7 @@ func decodeColumnsV2(r *snapReader, alias bool) (*Columns, string, error) {
 // own framed sub-reader. Each sets the reader's section name so sticky
 // errors carry their location.
 
+//botvet:codec decode strings
 func parseStrings(r *snapReader, c *Columns) int {
 	r.section = snapSectionName[secStrings]
 	nStr := r.count(1)
@@ -734,6 +746,7 @@ func parseStrings(r *snapReader, c *Columns) int {
 	return nStr
 }
 
+//botvet:codec decode targets
 func parseTargets(r *snapReader, c *Columns) int {
 	r.section = snapSectionName[secTargets]
 	nTgt := r.count(1)
@@ -744,6 +757,7 @@ func parseTargets(r *snapReader, c *Columns) int {
 	return nTgt
 }
 
+//botvet:codec decode botnets
 func parseBotnets(r *snapReader, c *Columns, nStr int) {
 	r.section = snapSectionName[secBotnets]
 	// Botnet rows cost at least 1 byte in each of 6 columns.
@@ -778,6 +792,7 @@ func parseBotnets(r *snapReader, c *Columns, nStr int) {
 	}
 }
 
+//botvet:codec decode bots
 func parseBots(r *snapReader, c *Columns, nStr int) int {
 	r.section = snapSectionName[secBots]
 	// Bot rows cost at least 1+1+1+1+1+8+8+1 = 22 bytes across columns.
@@ -819,6 +834,7 @@ func parseBots(r *snapReader, c *Columns, nStr int) int {
 	return nb
 }
 
+//botvet:codec decode attacks
 func parseAttacks(r *snapReader, c *Columns, nStr, nTgt int, alias bool) int {
 	r.section = snapSectionName[secAttacks]
 	// Attack rows cost at least 1 byte in each of 12 varint/byte columns
@@ -928,6 +944,7 @@ func parseAttacks(r *snapReader, c *Columns, nStr, nTgt int, alias bool) int {
 	return nRefs
 }
 
+//botvet:codec decode dense
 func parseDense(r *snapReader, c *Columns, nRefs, nb int) {
 	r.section = snapSectionName[secDense]
 	nDense := r.count(2)

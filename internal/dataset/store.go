@@ -36,6 +36,7 @@ type Store struct {
 	// true means the snapshot decoder set cols eagerly and the record
 	// views below are materialized on demand inside recOnce.
 	fromSnapshot bool
+	closed       atomic.Bool // set once by Close; the mapping is gone after
 	recOnce      sync.Once
 	recBuilt     atomic.Bool // set at the end of materializeRecords (always true on the record path)
 
@@ -70,7 +71,13 @@ type Store struct {
 	tgtOrder    []int32   // target ids in ascending address order; written once inside tgtRowsOnce.Do
 
 	recRowsOnce sync.Once
-	recRows     []atomic.Pointer[Attack] // per-row record memo (snapshot path, pre-materialization)
+	// recRows is the per-row record memo (snapshot path,
+	// pre-materialization). Each slot is published with
+	// CompareAndSwap(nil, rec) and re-read with Load so concurrent
+	// bridges converge on one canonical record per row.
+	//
+	//botscope:memo
+	recRows []atomic.Pointer[Attack]
 
 	nbOnce         sync.Once
 	nAttackBotnets int // distinct botnet ids across attacks; written once inside nbOnce.Do
@@ -250,6 +257,7 @@ func (s *Store) NumAttacks() int {
 // and must not be modified; records themselves are shared too.
 //
 //botscope:shared
+//botscope:materializes
 func (s *Store) Attacks() []*Attack {
 	s.records()
 	return s.attacks
@@ -259,6 +267,7 @@ func (s *Store) Attacks() []*Attack {
 // is the shared index bucket and must not be modified.
 //
 //botscope:shared
+//botscope:materializes
 func (s *Store) ByFamily(f Family) []*Attack {
 	s.records()
 	return s.byFamily[f]
@@ -268,6 +277,7 @@ func (s *Store) ByFamily(f Family) []*Attack {
 // order. The slice is the shared index bucket and must not be modified.
 //
 //botscope:shared
+//botscope:materializes
 func (s *Store) ByTarget(ip netip.Addr) []*Attack {
 	s.records()
 	return s.byTarget[ip]
@@ -277,12 +287,15 @@ func (s *Store) ByTarget(ip netip.Addr) []*Attack {
 // order. The slice is the shared index bucket and must not be modified.
 //
 //botscope:shared
+//botscope:materializes
 func (s *Store) ByBotnet(id BotnetID) []*Attack {
 	s.records()
 	return s.byBotnet[id]
 }
 
 // Botnet resolves a botnet record.
+//
+//botscope:materializes
 func (s *Store) Botnet(id BotnetID) (*Botnet, bool) {
 	s.records()
 	b, ok := s.botnets[id]
@@ -290,6 +303,8 @@ func (s *Store) Botnet(id BotnetID) (*Botnet, bool) {
 }
 
 // Bot resolves a bot record by IP.
+//
+//botscope:materializes
 func (s *Store) Bot(ip netip.Addr) (*Bot, bool) {
 	s.records()
 	row, ok := s.botRowsMap()[ip]
@@ -447,6 +462,7 @@ func (s *Store) targetIDs() []int32 {
 // id. The slice is a shared arena bucket and must not be modified.
 //
 //botscope:shared
+//botscope:mmap
 func (s *Store) TargetRows(tid int32) []int32 {
 	s.buildTargetRows()
 	return s.tgtRows[tid]
@@ -457,6 +473,7 @@ func (s *Store) TargetRows(tid int32) []int32 {
 // The slice is shared and must not be modified.
 //
 //botscope:shared
+//botscope:mmap
 func (s *Store) TargetIDs() []int32 { return s.targetIDs() }
 
 // buildTargetRows buckets attack rows by target id in one counting pass
@@ -540,6 +557,7 @@ func (s *Store) TargetAddr(tid int32) netip.Addr { return s.Cols().targets[tid] 
 // slice is a shared arena bucket and must not be modified.
 //
 //botscope:shared
+//botscope:mmap
 func (s *Store) RowsByFamily(f Family) []int32 { return s.famRowsMap()[f] }
 
 // attackBotnets counts the distinct botnet ids that appear across
@@ -561,6 +579,7 @@ func (s *Store) attackBotnets() int {
 // aliases the shared attack list and must not be modified.
 //
 //botscope:shared
+//botscope:materializes
 func (s *Store) InRange(from, to time.Time) []*Attack {
 	s.records()
 	lo := sort.Search(len(s.attacks), func(i int) bool {
@@ -620,6 +639,8 @@ func (s *Store) TimeBounds() (first, last time.Time, ok bool) {
 // BotIPs slice expanded from the dense layer) without triggering full
 // materialization — detection kernels use it to realize only the few
 // rows that qualify for an event.
+//
+//botscope:recordbridge
 func (s *Store) AttackRecordAt(row int) *Attack {
 	if s.RecordsMaterialized() {
 		return s.attacks[row]
@@ -670,6 +691,8 @@ func (s *Store) AttackRecordAt(row int) *Attack {
 // exactly like AttackRecordAt. Detectors that emit record-rich results
 // from a lazy store (collaboration subsets) use this to keep per-member
 // allocation off the detection path.
+//
+//botscope:recordbridge
 func (s *Store) AttackRecords(rows []int32) []*Attack {
 	out := make([]*Attack, len(rows))
 	if s.RecordsMaterialized() {
